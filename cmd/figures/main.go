@@ -1,0 +1,396 @@
+// Command figures regenerates every figure and result of the paper
+// "Perspector: Benchmarking Benchmark Suites" (DATE 2023) on the
+// simulated substrate.
+//
+// Usage:
+//
+//	figures -fig 3a          # one figure: 1, 2, 3a, 3b, 3c, 4, 5, 6
+//	figures -subset          # §IV-C subset generation (SPEC'17 43→8)
+//	figures -stability       # run-to-run score variation across seeds
+//	figures -all             # everything
+//	figures -instr 400000 -samples 100 -seed 2023
+//
+// The figure *data* is computed by internal/figdata (unit-tested); this
+// command only renders it as text: score tables for Fig. 3, projected
+// coordinates for Figs. 4/6, and sparkline curves for Figs. 1/5.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"perspector"
+	"perspector/internal/core"
+	"perspector/internal/figdata"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to regenerate: 1, 2, 3a, 3b, 3c, 4, 5, 6")
+		subset    = flag.Bool("subset", false, "run the §IV-C subset generation experiment")
+		stability = flag.Bool("stability", false, "report score variation across 3 simulation seeds")
+		all       = flag.Bool("all", false, "regenerate everything")
+		instr     = flag.Uint64("instr", 400_000, "instructions per workload")
+		samples   = flag.Int("samples", 100, "PMU samples per workload")
+		seed      = flag.Uint64("seed", 2023, "master seed")
+		csvDir    = flag.String("csv", "", "also write each figure's data as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := perspector.DefaultConfig()
+	cfg.Instructions = *instr
+	cfg.Samples = *samples
+	cfg.Seed = *seed
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	r := &runner{cfg: cfg, csvDir: *csvDir}
+	switch {
+	case *all:
+		for _, f := range []string{"1", "2", "3a", "3b", "3c", "4", "5", "6"} {
+			if err := r.figure(f); err != nil {
+				fatal(err)
+			}
+		}
+		if err := r.subset(); err != nil {
+			fatal(err)
+		}
+	case *subset:
+		if err := r.subset(); err != nil {
+			fatal(err)
+		}
+	case *stability:
+		if err := r.stability(); err != nil {
+			fatal(err)
+		}
+	case *fig != "":
+		if err := r.figure(*fig); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+// runner caches the (expensive) suite measurements across figures.
+type runner struct {
+	cfg    perspector.Config
+	csvDir string
+	meas   []*perspector.Measurement
+}
+
+// writeCSV writes rows (first row = header) to <csvDir>/<name>.csv when
+// -csv is set; otherwise it is a no-op.
+func (r *runner) writeCSV(name string, rows [][]string) error {
+	if r.csvDir == "" {
+		return nil
+	}
+	path := filepath.Join(r.csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	fmt.Printf("(wrote %s)\n", path)
+	return w.Error()
+}
+
+func (r *runner) measurements() ([]*perspector.Measurement, error) {
+	if r.meas == nil {
+		m, err := perspector.MeasureAll(r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.meas = m
+	}
+	return r.meas, nil
+}
+
+func (r *runner) byName(name string) (*perspector.Measurement, error) {
+	ms, err := r.measurements()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range ms {
+		if m.Suite == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("suite %q not measured", name)
+}
+
+func (r *runner) figure(f string) error {
+	switch f {
+	case "1":
+		return r.fig1()
+	case "2":
+		return r.fig2()
+	case "3a":
+		return r.fig3("all")
+	case "3b":
+		return r.fig3("llc")
+	case "3c":
+		return r.fig3("tlb")
+	case "4":
+		return r.fig4()
+	case "5":
+		return r.fig5()
+	case "6":
+		return r.fig6()
+	default:
+		return fmt.Errorf("unknown figure %q", f)
+	}
+}
+
+func (r *runner) fig3(group string) error {
+	ms, err := r.measurements()
+	if err != nil {
+		return err
+	}
+	opts := perspector.DefaultOptions()
+	counters, err := perspector.EventGroup(group)
+	if err != nil {
+		return err
+	}
+	opts.Counters = counters
+	scores, err := perspector.Compare(ms, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n=== Fig. 3%s: Perspector scores (%s events) ===\n",
+		map[string]string{"all": "a", "llc": "b", "tlb": "c"}[group], group)
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "suite",
+		"cluster(↓)", "trend(↑)", "coverage(↑)", "spread(↓)")
+	for _, s := range scores {
+		fmt.Printf("%-10s %12.4f %12.2f %12.5f %12.4f\n",
+			s.Suite, s.Cluster, s.Trend, s.Coverage, s.Spread)
+	}
+	rows := [][]string{{"suite", "cluster", "trend", "coverage", "spread"}}
+	for _, s := range scores {
+		rows = append(rows, []string{s.Suite,
+			fmtF(s.Cluster), fmtF(s.Trend), fmtF(s.Coverage), fmtF(s.Spread)})
+	}
+	return r.writeCSV("fig3"+map[string]string{"all": "a", "llc": "b", "tlb": "c"}[group], rows)
+}
+
+// fmtF formats a float for CSV output.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+func (r *runner) fig1() error {
+	sgx, err := r.byName("sgxgauge")
+	if err != nil {
+		return err
+	}
+	series, err := figdata.Fig1(sgx, 10, 0.1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Fig. 1: normalization of the LLC-load-miss trend ===")
+	for _, s := range series {
+		fmt.Printf("%-20s raw[min %8.0f max %8.0f len %d]  normalized: %s\n",
+			s.Workload, s.RawMin, s.RawMax, s.RawLen, sparkline(s.Normalized))
+	}
+	fmt.Println("(normalized series are event-CDFs in [0,100] over 11 time percentiles)")
+	rows := [][]string{{"workload", "percentile", "cdf"}}
+	for _, s := range series {
+		for i, v := range s.Normalized {
+			pct := 100 * float64(i) / float64(len(s.Normalized)-1)
+			rows = append(rows, []string{s.Workload, fmtF(pct), fmtF(v)})
+		}
+	}
+	return r.writeCSV("fig1", rows)
+}
+
+func (r *runner) fig2() error {
+	res, err := figdata.Fig2(r.cfg.Seed, perspector.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Fig. 2: coverage vs spread ===")
+	fmt.Printf("suite WA (outlier-inflated): coverage %.5f  spread %.4f\n", res.CoverageA, res.SpreadA)
+	fmt.Printf("suite WB (uniformly filled): coverage %.5f  spread %.4f\n", res.CoverageB, res.SpreadB)
+	fmt.Println("(WA's outliers inflate variance-based coverage; only the spread score exposes the gap)")
+	return nil
+}
+
+func (r *runner) fig4() error {
+	fmt.Println("\n=== Fig. 4: clustering in Nbench and SGXGauge (first two PCs) ===")
+	for _, name := range []string{"nbench", "sgxgauge"} {
+		m, err := r.byName(name)
+		if err != nil {
+			return err
+		}
+		points, err := figdata.Fig4(m, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s:\n", name)
+		for _, p := range points {
+			fmt.Printf("  %-28s PC1 %8.4f  PC2 %8.4f  cluster %d\n",
+				p.Workload, p.PC1, p.PC2, p.Cluster)
+		}
+		rows := [][]string{{"workload", "pc1", "pc2", "cluster"}}
+		for _, p := range points {
+			rows = append(rows, []string{p.Workload, fmtF(p.PC1), fmtF(p.PC2),
+				strconv.Itoa(p.Cluster)})
+		}
+		if err := r.writeCSV("fig4_"+name, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) fig5() error {
+	fmt.Println("\n=== Fig. 5: trend of LLC misses, Nbench vs SPEC'17 ===")
+	for _, name := range []string{"nbench", "spec17"} {
+		m, err := r.byName(name)
+		if err != nil {
+			return err
+		}
+		curves, err := figdata.Fig5(m, 4, 40, 0.1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s:\n", name)
+		rows := [][]string{{"workload", "percentile", "cdf"}}
+		for _, c := range curves {
+			fmt.Printf("  %-24s %s\n", c.Workload, sparkline(c.Curve))
+			for i, v := range c.Curve {
+				pct := 100 * float64(i) / float64(len(c.Curve)-1)
+				rows = append(rows, []string{c.Workload, fmtF(pct), fmtF(v)})
+			}
+		}
+		if err := r.writeCSV("fig5_"+name, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) fig6() error {
+	lm, err := r.byName("lmbench")
+	if err != nil {
+		return err
+	}
+	sp, err := r.byName("spec17")
+	if err != nil {
+		return err
+	}
+	res, err := figdata.Fig6(lm, sp)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Fig. 6: PCA coverage of LMbench vs SPEC'17 ===")
+	fmt.Printf("lmbench  PC1 span %.4f  PC2 span %.4f\n", res.SpanA1, res.SpanA2)
+	fmt.Printf("spec17   PC1 span %.4f  PC2 span %.4f\n", res.SpanB1, res.SpanB2)
+	fmt.Println("\nlmbench points:")
+	for _, p := range res.A {
+		fmt.Printf("  %-28s %8.4f %8.4f\n", p.Workload, p.PC1, p.PC2)
+	}
+	fmt.Println("\nspec17 points:")
+	for _, p := range res.B {
+		fmt.Printf("  %-28s %8.4f %8.4f\n", p.Workload, p.PC1, p.PC2)
+	}
+	rows := [][]string{{"suite", "workload", "pc1", "pc2"}}
+	for _, p := range res.A {
+		rows = append(rows, []string{"lmbench", p.Workload, fmtF(p.PC1), fmtF(p.PC2)})
+	}
+	for _, p := range res.B {
+		rows = append(rows, []string{"spec17", p.Workload, fmtF(p.PC1), fmtF(p.PC2)})
+	}
+	return r.writeCSV("fig6", rows)
+}
+
+func (r *runner) subset() error {
+	sp, err := r.byName("spec17")
+	if err != nil {
+		return err
+	}
+	res, err := perspector.GenerateSubset(sp, perspector.DefaultOptions(),
+		perspector.DefaultSubsetOptions(8))
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== §IV-C: SPEC'17 subset generation via LHS (43 → 8) ===")
+	fmt.Println("selected:", strings.Join(res.Names, ", "))
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "", "cluster", "trend", "coverage", "spread")
+	fmt.Printf("%-10s %12.4f %12.2f %12.5f %12.4f\n", "full",
+		res.Full.Cluster, res.Full.Trend, res.Full.Coverage, res.Full.Spread)
+	fmt.Printf("%-10s %12.4f %12.2f %12.5f %12.4f\n", "subset",
+		res.Subset.Cluster, res.Subset.Trend, res.Subset.Coverage, res.Subset.Spread)
+	fmt.Printf("mean relative deviation: %.2f%% (paper: 6.53%%)\n", 100*res.Deviation)
+	return nil
+}
+
+// stability measures every suite under 3 seeds and prints mean ± sd per
+// score — the run-to-run variation a sound comparison should disclose.
+func (r *runner) stability() error {
+	const seeds = 3
+	fmt.Printf("\n=== score stability across %d simulation seeds ===\n", seeds)
+	fmt.Printf("%-10s %16s %16s %18s %16s\n", "suite",
+		"cluster", "trend", "coverage", "spread")
+	for _, name := range []string{"parsec", "spec17", "ligra", "lmbench", "nbench", "sgxgauge"} {
+		var runs []*perspector.Measurement
+		for sd := 0; sd < seeds; sd++ {
+			cfg := r.cfg
+			cfg.Seed = r.cfg.Seed + uint64(sd)
+			s, err := perspector.SuiteByName(name, cfg)
+			if err != nil {
+				return err
+			}
+			m, err := perspector.Measure(s, cfg)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, m)
+		}
+		st, err := core.ScoreStability(runs, perspector.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %9.4f ± %-5.4f %9.2f ± %-5.2f %10.5f ± %-7.5f %8.4f ± %-6.4f\n",
+			name,
+			st.Mean.Cluster, st.StdDev.Cluster,
+			st.Mean.Trend, st.StdDev.Trend,
+			st.Mean.Coverage, st.StdDev.Coverage,
+			st.Mean.Spread, st.StdDev.Spread)
+	}
+	return nil
+}
+
+// sparkline renders values in [0,100] as a unicode mini-chart.
+func sparkline(vals []float64) string {
+	const ramp = "▁▂▃▄▅▆▇█"
+	var sb strings.Builder
+	for _, v := range vals {
+		idx := int(v / 100 * 7.99)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > 7 {
+			idx = 7
+		}
+		sb.WriteRune([]rune(ramp)[idx])
+	}
+	return sb.String()
+}

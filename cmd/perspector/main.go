@@ -1,0 +1,673 @@
+// Command perspector scores benchmark suites on the built-in
+// microarchitecture simulator, reproducing the tool of "Perspector:
+// Benchmarking Benchmark Suites" (DATE 2023).
+//
+// Subcommands:
+//
+//	perspector list
+//	    List the stock suites, their workloads, and the PMU counters.
+//
+//	perspector score -suite parsec [-group all|llc|tlb] [-instr N] [-samples N] [-seed N]
+//	    Measure one suite and print its four Perspector scores.
+//
+//	perspector compare [-suites parsec,spec17,...] [-group ...]
+//	    Measure several suites and score them under joint normalization
+//	    (the paper's Fig. 3 methodology). Default: all six.
+//
+//	perspector subset -suite spec17 -size 8 [-subsetseed N]
+//	    Generate a representative subset via Latin Hypercube Sampling
+//	    (§IV-C) and report the score deviation.
+//
+//	perspector dump -suite nbench
+//	    Print the workload × counter matrix as CSV.
+//
+//	perspector phases -suite parsec -workload parsec.x264 -counter LLC-load-misses
+//	    Detect phase boundaries in one workload's counter series.
+//
+//	perspector profile -suite parsec
+//	    Per-workload phase-boundary counts across the event group.
+//
+//	perspector baseline -suite spec17 -k 6 [-linkage average]
+//	    Run the prior-work pipeline (PCA + hierarchical clustering) the
+//	    paper's §II critiques, with the silhouette Perspector adds.
+//
+//	perspector redundancy -suite spec17 [-threshold 0.9]
+//	    Report strongly correlated (droppable) PMU counter pairs.
+//
+//	perspector export -suite nbench -o trace.json [-format json|csv]
+//	perspector score-file -f trace.json [-format json|csv] [-name imported]
+//	    Archive measurements and score external (e.g. perf-derived) data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"perspector"
+	"perspector/internal/core"
+	"perspector/internal/perf"
+)
+
+// stdout is the destination for command output; tests swap it for a
+// buffer.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = runList(args)
+	case "score":
+		err = runScore(args)
+	case "compare":
+		err = runCompare(args)
+	case "subset":
+		err = runSubset(args)
+	case "dump":
+		err = runDump(args)
+	case "phases":
+		err = runPhases(args)
+	case "profile":
+		err = runProfile(args)
+	case "baseline":
+		err = runBaseline(args)
+	case "export":
+		err = runExport(args)
+	case "score-file":
+		err = runScoreFile(args)
+	case "redundancy":
+		err = runRedundancy(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "perspector: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perspector:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: perspector <command> [flags]
+
+commands:
+  list      list stock suites, workloads and PMU counters
+  score     score one suite
+  compare   score several suites under joint normalization
+  subset    generate a representative workload subset (LHS)
+  dump      print the workload x counter matrix
+  phases    detect phase changes in a counter time series
+  profile   per-workload phase-boundary counts for a suite
+  baseline  run the prior-work pipeline (PCA + hierarchical clustering)
+  export    measure a suite and write a portable JSON trace
+  score-file score measurements from a JSON trace or totals CSV
+  redundancy report strongly correlated (droppable) PMU counters
+
+run "perspector <command> -h" for command flags`)
+}
+
+// commonFlags registers the shared simulation flags on a FlagSet.
+type commonFlags struct {
+	instr   uint64
+	samples int
+	seed    uint64
+	group   string
+}
+
+func addCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.Uint64Var(&c.instr, "instr", 400_000, "instructions per workload")
+	fs.IntVar(&c.samples, "samples", 100, "PMU samples per workload")
+	fs.Uint64Var(&c.seed, "seed", 2023, "master seed")
+	fs.StringVar(&c.group, "group", "all", "event group: all, llc, tlb")
+	return c
+}
+
+func (c *commonFlags) config() perspector.Config {
+	cfg := perspector.DefaultConfig()
+	cfg.Instructions = c.instr
+	cfg.Samples = c.samples
+	cfg.Seed = c.seed
+	return cfg
+}
+
+func (c *commonFlags) options() (perspector.Options, error) {
+	opts := perspector.DefaultOptions()
+	counters, err := perspector.EventGroup(c.group)
+	if err != nil {
+		return opts, err
+	}
+	opts.Counters = counters
+	return opts, nil
+}
+
+func runList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	common := addCommon(fs)
+	verbose := fs.Bool("v", false, "list every workload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := common.config()
+	fmt.Fprintln(stdout, "suites:")
+	for _, s := range perspector.StockSuites(cfg) {
+		fmt.Fprintf(stdout, "  %-10s %2d workloads  %s\n", s.Name, len(s.Specs), s.Description)
+		if *verbose {
+			for _, w := range s.Specs {
+				fmt.Fprintf(stdout, "      %s\n", w.Name)
+			}
+		}
+	}
+	fmt.Fprintln(stdout, "\nPMU counters (Table IV):")
+	for _, c := range perf.AllCounters() {
+		fmt.Fprintf(stdout, "  %s\n", c)
+	}
+	fmt.Fprintln(stdout, "\nevent groups: all, llc, tlb")
+	return nil
+}
+
+func runScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	common := addCommon(fs)
+	suite := fs.String("suite", "", "suite to score (required)")
+	repeat := fs.Int("repeat", 1, "measure with N different seeds and report mean ± sd")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite == "" {
+		return fmt.Errorf("score: -suite is required")
+	}
+	if *repeat < 1 {
+		return fmt.Errorf("score: -repeat must be >= 1")
+	}
+	cfg := common.config()
+	opts, err := common.options()
+	if err != nil {
+		return err
+	}
+	if *repeat == 1 {
+		s, err := perspector.SuiteByName(*suite, cfg)
+		if err != nil {
+			return err
+		}
+		m, err := perspector.Measure(s, cfg)
+		if err != nil {
+			return err
+		}
+		scores, err := perspector.Score(m, opts)
+		if err != nil {
+			return err
+		}
+		printScoreHeader()
+		printScoreRow(scores)
+		return nil
+	}
+	var runs []*perspector.Measurement
+	for r := 0; r < *repeat; r++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(r)
+		s, err := perspector.SuiteByName(*suite, runCfg)
+		if err != nil {
+			return err
+		}
+		m, err := perspector.Measure(s, runCfg)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, m)
+	}
+	st, err := perspector.ScoreStability(runs, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s over %d seeds (mean ± sd):\n", st.Suite, st.Runs)
+	fmt.Fprintf(stdout, "  cluster  %8.4f ± %.4f\n", st.Mean.Cluster, st.StdDev.Cluster)
+	fmt.Fprintf(stdout, "  trend    %8.2f ± %.2f\n", st.Mean.Trend, st.StdDev.Trend)
+	fmt.Fprintf(stdout, "  coverage %8.5f ± %.5f\n", st.Mean.Coverage, st.StdDev.Coverage)
+	fmt.Fprintf(stdout, "  spread   %8.4f ± %.4f\n", st.Mean.Spread, st.StdDev.Spread)
+	return nil
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	common := addCommon(fs)
+	list := fs.String("suites", "parsec,spec17,ligra,lmbench,nbench,sgxgauge",
+		"comma-separated suites to compare")
+	rank := fs.Bool("rank", false, "print per-metric and overall rankings")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := common.config()
+	var ms []*perspector.Measurement
+	for _, name := range strings.Split(*list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, err := perspector.SuiteByName(name, cfg)
+		if err != nil {
+			return err
+		}
+		m, err := perspector.Measure(s, cfg)
+		if err != nil {
+			return err
+		}
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return fmt.Errorf("compare: no suites given")
+	}
+	opts, err := common.options()
+	if err != nil {
+		return err
+	}
+	scores, err := perspector.Compare(ms, opts)
+	if err != nil {
+		return err
+	}
+	printScoreHeader()
+	for _, s := range scores {
+		printScoreRow(s)
+	}
+	if *rank {
+		r, err := perspector.Rank(scores)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "\nrankings (best first):")
+		fmt.Fprintf(stdout, "  %-12s %s\n", "cluster:", strings.Join(r.ByCluster, " > "))
+		fmt.Fprintf(stdout, "  %-12s %s\n", "trend:", strings.Join(r.ByTrend, " > "))
+		fmt.Fprintf(stdout, "  %-12s %s\n", "coverage:", strings.Join(r.ByCoverage, " > "))
+		fmt.Fprintf(stdout, "  %-12s %s\n", "spread:", strings.Join(r.BySpread, " > "))
+		fmt.Fprintln(stdout, "\noverall (mean rank):")
+		for _, name := range r.Overall {
+			fmt.Fprintf(stdout, "  %-12s %.2f\n", name, r.MeanRank[name])
+		}
+	}
+	return nil
+}
+
+func printScoreHeader() {
+	fmt.Fprintf(stdout, "%-10s %12s %12s %12s %12s\n", "suite",
+		"cluster(-)", "trend(+)", "coverage(+)", "spread(-)")
+}
+
+func printScoreRow(s perspector.Scores) {
+	fmt.Fprintf(stdout, "%-10s %12.4f %12.2f %12.5f %12.4f\n",
+		s.Suite, s.Cluster, s.Trend, s.Coverage, s.Spread)
+}
+
+func runSubset(args []string) error {
+	fs := flag.NewFlagSet("subset", flag.ExitOnError)
+	common := addCommon(fs)
+	suite := fs.String("suite", "spec17", "suite to subset")
+	size := fs.Int("size", 8, "subset size")
+	subsetSeed := fs.Uint64("subsetseed", 0, "LHS seed (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := common.config()
+	s, err := perspector.SuiteByName(*suite, cfg)
+	if err != nil {
+		return err
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		return err
+	}
+	opts, err := common.options()
+	if err != nil {
+		return err
+	}
+	so := perspector.DefaultSubsetOptions(*size)
+	if *subsetSeed != 0 {
+		so.Seed = *subsetSeed
+	}
+	res, err := perspector.GenerateSubset(m, opts, so)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "subset of %s (%d of %d workloads):\n", *suite, *size, len(s.Specs))
+	for _, n := range res.Names {
+		fmt.Fprintln(stdout, "  ", n)
+	}
+	fmt.Fprintln(stdout)
+	printScoreHeader()
+	full := res.Full
+	full.Suite = "full"
+	sub := res.Subset
+	sub.Suite = "subset"
+	printScoreRow(full)
+	printScoreRow(sub)
+	fmt.Fprintf(stdout, "mean relative deviation: %.2f%%\n", 100*res.Deviation)
+	return nil
+}
+
+func runDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	common := addCommon(fs)
+	suite := fs.String("suite", "", "suite to dump (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite == "" {
+		return fmt.Errorf("dump: -suite is required")
+	}
+	cfg := common.config()
+	s, err := perspector.SuiteByName(*suite, cfg)
+	if err != nil {
+		return err
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		return err
+	}
+	counters, err := perspector.EventGroup(common.group)
+	if err != nil {
+		return err
+	}
+	// CSV header.
+	fmt.Fprint(stdout, "workload")
+	for _, c := range counters {
+		fmt.Fprintf(stdout, ",%s", c)
+	}
+	fmt.Fprintln(stdout)
+	for _, w := range m.Workloads {
+		fmt.Fprint(stdout, w.Workload)
+		for _, c := range counters {
+			fmt.Fprintf(stdout, ",%d", w.Totals.Get(c))
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+func runPhases(args []string) error {
+	fs := flag.NewFlagSet("phases", flag.ExitOnError)
+	common := addCommon(fs)
+	suite := fs.String("suite", "", "suite (required)")
+	workloadName := fs.String("workload", "", "workload name (required)")
+	counterName := fs.String("counter", "LLC-load-misses", "PMU counter")
+	window := fs.Int("window", 5, "detector half-window in samples")
+	threshold := fs.Float64("threshold", 2, "detector threshold in local-noise units")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite == "" || *workloadName == "" {
+		return fmt.Errorf("phases: -suite and -workload are required")
+	}
+	cfg := common.config()
+	s, err := perspector.SuiteByName(*suite, cfg)
+	if err != nil {
+		return err
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		return err
+	}
+	counter, err := perf.ParseCounter(*counterName)
+	if err != nil {
+		return err
+	}
+	for _, w := range m.Workloads {
+		if w.Workload != *workloadName {
+			continue
+		}
+		series := w.Series.Series(counter)
+		changes, err := core.DetectPhases(series, *window, *threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s / %s: %d samples, %d phase boundaries\n",
+			*workloadName, counter, len(series), len(changes))
+		for _, c := range changes {
+			pct := 100 * float64(c.Index) / float64(len(series))
+			fmt.Fprintf(stdout, "  sample %4d (%5.1f%% of execution)  shift %.1f\n",
+				c.Index, pct, c.Shift)
+		}
+		return nil
+	}
+	return fmt.Errorf("phases: workload %q not found in %s (try 'perspector list -v')",
+		*workloadName, *suite)
+}
+
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	common := addCommon(fs)
+	suite := fs.String("suite", "", "suite to measure and export (required)")
+	out := fs.String("o", "", "output file (default stdout)")
+	format := fs.String("format", "json", "output format: json (full) or csv (totals)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite == "" {
+		return fmt.Errorf("export: -suite is required")
+	}
+	cfg := common.config()
+	s, err := perspector.SuiteByName(*suite, cfg)
+	if err != nil {
+		return err
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		return perspector.ExportJSON(w, m)
+	case "csv":
+		counters, err := perspector.EventGroup(common.group)
+		if err != nil {
+			return err
+		}
+		return perspector.ExportCSV(w, m, counters)
+	default:
+		return fmt.Errorf("export: unknown format %q", *format)
+	}
+}
+
+func runScoreFile(args []string) error {
+	fs := flag.NewFlagSet("score-file", flag.ExitOnError)
+	common := addCommon(fs)
+	path := fs.String("f", "", "trace file (required)")
+	format := fs.String("format", "json", "input format: json or csv")
+	suiteName := fs.String("name", "imported", "suite name for csv input")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("score-file: -f is required")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var m *perspector.Measurement
+	switch *format {
+	case "json":
+		m, err = perspector.ImportJSON(f)
+	case "csv":
+		m, err = perspector.ImportCSV(f, *suiteName)
+	default:
+		return fmt.Errorf("score-file: unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	opts, err := common.options()
+	if err != nil {
+		return err
+	}
+	// CSV input has no time series: skip the TrendScore rather than fail.
+	hasSeries := len(m.Workloads) > 0 && m.Workloads[0].Series.Len() > 0
+	if !hasSeries {
+		x, err := core.ScoreSuiteNoTrend(m, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%-10s %12s %12s %12s\n", "suite", "cluster(-)", "coverage(+)", "spread(-)")
+		fmt.Fprintf(stdout, "%-10s %12.4f %12.5f %12.4f\n", x.Suite, x.Cluster, x.Coverage, x.Spread)
+		fmt.Fprintln(stdout, "(no time-series data in input: TrendScore unavailable)")
+		return nil
+	}
+	scores, err := perspector.Score(m, opts)
+	if err != nil {
+		return err
+	}
+	printScoreHeader()
+	printScoreRow(scores)
+	return nil
+}
+
+func runRedundancy(args []string) error {
+	fs := flag.NewFlagSet("redundancy", flag.ExitOnError)
+	common := addCommon(fs)
+	suite := fs.String("suite", "", "suite to analyze (required)")
+	threshold := fs.Float64("threshold", 0.9, "minimum |Pearson r| to report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite == "" {
+		return fmt.Errorf("redundancy: -suite is required")
+	}
+	cfg := common.config()
+	s, err := perspector.SuiteByName(*suite, cfg)
+	if err != nil {
+		return err
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		return err
+	}
+	opts, err := common.options()
+	if err != nil {
+		return err
+	}
+	pairs, err := perspector.CounterRedundancy(m, opts, *threshold)
+	if err != nil {
+		return err
+	}
+	if len(pairs) == 0 {
+		fmt.Fprintf(stdout, "no counter pairs with |r| >= %.2f in %s\n", *threshold, *suite)
+		return nil
+	}
+	fmt.Fprintf(stdout, "redundant counter pairs in %s (|r| >= %.2f):\n", *suite, *threshold)
+	for _, p := range pairs {
+		fmt.Fprintf(stdout, "  %-32s ~ %-32s r = %+.3f\n", p.A, p.B, p.R)
+	}
+	fmt.Fprintln(stdout, "\ndropping one of each pair frees a hardware counter without losing signal")
+	return nil
+}
+
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	common := addCommon(fs)
+	suite := fs.String("suite", "", "suite to profile (required)")
+	window := fs.Int("window", 5, "detector half-window in samples")
+	threshold := fs.Float64("threshold", 2.5, "detector threshold in local-noise units")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite == "" {
+		return fmt.Errorf("profile: -suite is required")
+	}
+	cfg := common.config()
+	s, err := perspector.SuiteByName(*suite, cfg)
+	if err != nil {
+		return err
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		return err
+	}
+	opts, err := common.options()
+	if err != nil {
+		return err
+	}
+	prof, err := perspector.ProfilePhases(m, opts, *window, *threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "phase profile of %s (%s events, window %d, threshold %.1f):\n",
+		*suite, common.group, *window, *threshold)
+	for i, w := range m.Workloads {
+		fmt.Fprintf(stdout, "  %-30s %3d boundaries\n", w.Workload, prof.Boundaries[i])
+	}
+	fmt.Fprintf(stdout, "suite mean: %.1f boundaries/workload\n", prof.MeanBoundaries)
+	return nil
+}
+
+func runBaseline(args []string) error {
+	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+	common := addCommon(fs)
+	suite := fs.String("suite", "", "suite to analyze (required)")
+	k := fs.Int("k", 6, "number of flat clusters to cut")
+	linkageName := fs.String("linkage", "average", "linkage: single, complete, average")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite == "" {
+		return fmt.Errorf("baseline: -suite is required")
+	}
+	var linkage perspector.Linkage
+	switch *linkageName {
+	case "single":
+		linkage = perspector.SingleLinkage
+	case "complete":
+		linkage = perspector.CompleteLinkage
+	case "average":
+		linkage = perspector.AverageLinkage
+	default:
+		return fmt.Errorf("baseline: unknown linkage %q", *linkageName)
+	}
+	cfg := common.config()
+	s, err := perspector.SuiteByName(*suite, cfg)
+	if err != nil {
+		return err
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		return err
+	}
+	opts, err := common.options()
+	if err != nil {
+		return err
+	}
+	res, err := perspector.HierarchicalBaseline(m, opts, linkage, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "prior-work pipeline on %s (%s linkage, k=%d, %d PCA components):\n",
+		*suite, linkage, res.K, res.RetainedComponents)
+	fmt.Fprintf(stdout, "silhouette of the cut: %.4f\n\n", res.Silhouette)
+	for c := 0; c < res.K; c++ {
+		fmt.Fprintf(stdout, "cluster %d (representative: %s):\n", c, m.Workloads[res.Representatives[c]].Workload)
+		for i, l := range res.Labels {
+			if l == c {
+				fmt.Fprintf(stdout, "  %s\n", m.Workloads[i].Workload)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture swaps stdout for a buffer around fn.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	var buf bytes.Buffer
+	old := stdout
+	stdout = &buf
+	defer func() { stdout = old }()
+	if err := fn(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// fast shrinks the simulation flags so CLI tests stay quick.
+func fast(args ...string) []string {
+	return append(args, "-instr", "20000", "-samples", "10")
+}
+
+func TestRunList(t *testing.T) {
+	out := capture(t, func() error { return runList(nil) })
+	for _, want := range []string{"parsec", "spec17", "ligra", "lmbench", "nbench", "sgxgauge",
+		"cpu-cycles", "LLC-load-misses", "event groups"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+	verbose := capture(t, func() error { return runList([]string{"-v"}) })
+	if !strings.Contains(verbose, "spec17.505.mcf_r") {
+		t.Error("verbose list missing workload names")
+	}
+}
+
+func TestRunScore(t *testing.T) {
+	out := capture(t, func() error { return runScore(fast("-suite", "nbench")) })
+	if !strings.Contains(out, "nbench") || !strings.Contains(out, "cluster") {
+		t.Errorf("score output:\n%s", out)
+	}
+}
+
+func TestRunScoreErrors(t *testing.T) {
+	if err := runScore(nil); err == nil {
+		t.Error("missing -suite accepted")
+	}
+	if err := runScore(fast("-suite", "bogus")); err == nil {
+		t.Error("bogus suite accepted")
+	}
+	if err := runScore(fast("-suite", "nbench", "-repeat", "0")); err == nil {
+		t.Error("repeat 0 accepted")
+	}
+	if err := runScore(fast("-suite", "nbench", "-group", "bogus")); err == nil {
+		t.Error("bogus group accepted")
+	}
+}
+
+func TestRunScoreRepeat(t *testing.T) {
+	out := capture(t, func() error {
+		return runScore(fast("-suite", "nbench", "-repeat", "2"))
+	})
+	if !strings.Contains(out, "±") || !strings.Contains(out, "2 seeds") {
+		t.Errorf("repeat output:\n%s", out)
+	}
+}
+
+func TestRunCompareWithRank(t *testing.T) {
+	out := capture(t, func() error {
+		return runCompare(fast("-suites", "nbench,sgxgauge", "-rank"))
+	})
+	for _, want := range []string{"nbench", "sgxgauge", "rankings", "overall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCompareErrors(t *testing.T) {
+	if err := runCompare(fast("-suites", "")); err == nil {
+		t.Error("empty suite list accepted")
+	}
+	if err := runCompare(fast("-suites", "bogus")); err == nil {
+		t.Error("bogus suite accepted")
+	}
+}
+
+func TestRunDumpCSV(t *testing.T) {
+	out := capture(t, func() error { return runDump(fast("-suite", "nbench")) })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 11 { // header + 10 workloads
+		t.Fatalf("dump lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workload,cpu-cycles") {
+		t.Errorf("dump header = %q", lines[0])
+	}
+	if err := runDump(fast()); err == nil {
+		t.Error("missing -suite accepted")
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	out := capture(t, func() error {
+		return runSubset(fast("-suite", "spec17", "-size", "5"))
+	})
+	if !strings.Contains(out, "deviation") {
+		t.Errorf("subset output:\n%s", out)
+	}
+	if strings.Count(out, "spec17.") != 5 {
+		t.Errorf("subset did not list 5 workloads:\n%s", out)
+	}
+}
+
+func TestRunPhases(t *testing.T) {
+	out := capture(t, func() error {
+		return runPhases(fast("-suite", "nbench", "-workload", "nbench.idea"))
+	})
+	if !strings.Contains(out, "phase boundaries") {
+		t.Errorf("phases output:\n%s", out)
+	}
+	if err := runPhases(fast("-suite", "nbench", "-workload", "nope")); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := runPhases(fast("-suite", "nbench", "-workload", "nbench.idea",
+		"-counter", "bogus")); err == nil {
+		t.Error("bogus counter accepted")
+	}
+}
+
+func TestRunProfile(t *testing.T) {
+	out := capture(t, func() error { return runProfile(fast("-suite", "nbench")) })
+	if !strings.Contains(out, "boundaries/workload") {
+		t.Errorf("profile output:\n%s", out)
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	out := capture(t, func() error {
+		return runBaseline(fast("-suite", "nbench", "-k", "3"))
+	})
+	if !strings.Contains(out, "silhouette") || strings.Count(out, "cluster ") < 3 {
+		t.Errorf("baseline output:\n%s", out)
+	}
+	if err := runBaseline(fast("-suite", "nbench", "-linkage", "bogus")); err == nil {
+		t.Error("bogus linkage accepted")
+	}
+}
+
+func TestRunRedundancy(t *testing.T) {
+	out := capture(t, func() error {
+		return runRedundancy(fast("-suite", "spec17", "-threshold", "0.95"))
+	})
+	if !strings.Contains(out, "r =") && !strings.Contains(out, "no counter pairs") {
+		t.Errorf("redundancy output:\n%s", out)
+	}
+}
+
+func TestRunExportScoreFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	capture(t, func() error {
+		return runExport(fast("-suite", "nbench", "-o", path))
+	})
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("export produced no file: %v", err)
+	}
+	out := capture(t, func() error {
+		return runScoreFile([]string{"-f", path})
+	})
+	if !strings.Contains(out, "nbench") {
+		t.Errorf("score-file output:\n%s", out)
+	}
+
+	// CSV path.
+	csvPath := filepath.Join(dir, "trace.csv")
+	capture(t, func() error {
+		return runExport(fast("-suite", "nbench", "-o", csvPath, "-format", "csv"))
+	})
+	out = capture(t, func() error {
+		return runScoreFile([]string{"-f", csvPath, "-format", "csv", "-name", "nbench"})
+	})
+	if !strings.Contains(out, "TrendScore unavailable") {
+		t.Errorf("csv score-file output:\n%s", out)
+	}
+}
+
+func TestRunExportErrors(t *testing.T) {
+	if err := runExport(fast()); err == nil {
+		t.Error("missing -suite accepted")
+	}
+	if err := runExport(fast("-suite", "nbench", "-format", "bogus")); err == nil {
+		t.Error("bogus format accepted")
+	}
+	if err := runScoreFile(nil); err == nil {
+		t.Error("missing -f accepted")
+	}
+	if err := runScoreFile([]string{"-f", "/nonexistent", "-format", "json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

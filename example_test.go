@@ -1,0 +1,135 @@
+package perspector_test
+
+// Godoc examples: compiled with the tests (examples without an Output
+// comment are not executed, so they stay fast and robust to calibration
+// changes while documenting the API shapes).
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perspector"
+)
+
+// Example shows the quickstart flow: measure one stock suite and print
+// its four scores.
+func Example() {
+	cfg := perspector.DefaultConfig()
+	suite, err := perspector.SuiteByName("parsec", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas, err := perspector.Measure(suite, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scores, err := perspector.Score(meas, perspector.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster=%.3f trend=%.1f coverage=%.4f spread=%.3f\n",
+		scores.Cluster, scores.Trend, scores.Coverage, scores.Spread)
+}
+
+// ExampleCompare reproduces the paper's Fig. 3 methodology: score several
+// suites under joint normalization so Coverage and Spread are directly
+// comparable.
+func ExampleCompare() {
+	cfg := perspector.DefaultConfig()
+	ms, err := perspector.MeasureAll(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scores, err := perspector.Compare(ms, perspector.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranking, err := perspector.Rank(scores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("best coverage:", ranking.ByCoverage[0])
+}
+
+// ExampleNewSuite builds a custom two-workload suite from access-pattern
+// specs.
+func ExampleNewSuite() {
+	cfg := perspector.DefaultConfig()
+	suite, err := perspector.NewSuite("mine", []perspector.Workload{
+		{
+			Name: "scan", Instructions: cfg.Instructions, Seed: 1,
+			Phases: []perspector.Phase{{
+				Name: "sweep", Weight: 1, LoadFrac: 0.5,
+				LoadPattern: perspector.Sequential{WorkingSet: 64 << 20},
+			}},
+		},
+		{
+			Name: "lookup", Instructions: cfg.Instructions, Seed: 2,
+			Phases: []perspector.Phase{{
+				Name: "probe", Weight: 1, LoadFrac: 0.45, BranchFrac: 0.15,
+				LoadPattern:      perspector.PointerChase{WorkingSet: 32 << 20},
+				BranchRegularity: 0.4, BranchTakenProb: 0.5,
+			}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(suite.Name, len(suite.Specs))
+}
+
+// ExampleGenerateSubset reduces SPEC'17 to a representative subset via
+// Latin Hypercube Sampling (§IV-C).
+func ExampleGenerateSubset() {
+	cfg := perspector.DefaultConfig()
+	suite, _ := perspector.SuiteByName("spec17", cfg)
+	meas, err := perspector.Measure(suite, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := perspector.GenerateSubset(meas, perspector.DefaultOptions(),
+		perspector.DefaultSubsetOptions(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deviation %.1f%%: %v\n", 100*res.Deviation, res.Names)
+}
+
+// ExampleExportJSON archives a measurement for later re-scoring.
+func ExampleExportJSON() {
+	cfg := perspector.DefaultConfig()
+	suite, _ := perspector.SuiteByName("nbench", cfg)
+	meas, err := perspector.Measure(suite, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create("nbench.trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := perspector.ExportJSON(f, meas); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// ExampleAugment grows a seed suite from a candidate pool by metric.
+func ExampleAugment() {
+	cfg := perspector.DefaultConfig()
+	base, _ := perspector.SuiteByName("nbench", cfg)
+	pool, _ := perspector.SuiteByName("lmbench", cfg)
+	baseMeas, err := perspector.Measure(base, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poolMeas, err := perspector.Measure(pool, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aug, err := perspector.Augment(baseMeas, poolMeas, perspector.DefaultOptions(), 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("add these workloads:", aug.Names)
+}

@@ -1,0 +1,45 @@
+// Focused scoring (§IV-B of the paper): compare all six stock suites
+// under the full event set, then under only LLC-related and only
+// TLB-related events — the analysis a researcher runs when stress-testing
+// one subsystem rather than the whole machine.
+//
+//	go run ./examples/focused
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perspector"
+)
+
+func main() {
+	cfg := perspector.DefaultConfig()
+	fmt.Println("measuring all six suites (this simulates every workload)...")
+	measurements, err := perspector.MeasureAll(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, group := range []string{"all", "llc", "tlb"} {
+		opts := perspector.DefaultOptions()
+		opts.Counters, err = perspector.EventGroup(group)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scores, err := perspector.Compare(measurements, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s events ---\n", group)
+		fmt.Printf("%-10s %10s %10s %10s %10s\n",
+			"suite", "cluster", "trend", "coverage", "spread")
+		for _, s := range scores {
+			fmt.Printf("%-10s %10.4f %10.2f %10.5f %10.4f\n",
+				s.Suite, s.Cluster, s.Trend, s.Coverage, s.Spread)
+		}
+	}
+	fmt.Println("\nInterpretation: a suite that dominates coverage with all events")
+	fmt.Println("but collapses under a focused group (LMbench under TLB events)")
+	fmt.Println("is a poor choice for stress-testing that subsystem.")
+}

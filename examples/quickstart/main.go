@@ -1,0 +1,47 @@
+// Quickstart: measure one benchmark suite on the built-in simulator and
+// print its four Perspector quality scores.
+//
+//	go run ./examples/quickstart [suite]
+//
+// suite defaults to "parsec"; any of parsec, spec17, ligra, lmbench,
+// nbench, sgxgauge works.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"perspector"
+)
+
+func main() {
+	name := "parsec"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+
+	cfg := perspector.DefaultConfig()
+	suite, err := perspector.SuiteByName(name, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("measuring %s (%d workloads, %d instructions each)...\n",
+		suite.Name, len(suite.Specs), cfg.Instructions)
+	meas, err := perspector.Measure(suite, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scores, err := perspector.Score(meas, perspector.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nPerspector scores for %s:\n", scores.Suite)
+	fmt.Printf("  ClusterScore  %8.4f  (lower is better: workloads should not clump)\n", scores.Cluster)
+	fmt.Printf("  TrendScore    %8.2f  (higher is better: diverse phase behaviour)\n", scores.Trend)
+	fmt.Printf("  CoverageScore %8.5f  (higher is better: parameter space covered)\n", scores.Coverage)
+	fmt.Printf("  SpreadScore   %8.4f  (lower is better: uniform coverage)\n", scores.Spread)
+}

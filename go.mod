@@ -1,0 +1,3 @@
+module perspector
+
+go 1.22

@@ -1,0 +1,306 @@
+package perspector_test
+
+// Integration tests: the full pipeline (suite models → simulator → PMU →
+// scores) must reproduce the paper's headline orderings. These run the
+// complete Fig. 3 experiment at the paper's configuration, so they take
+// tens of seconds; `go test -short` skips them.
+
+import (
+	"sync"
+	"testing"
+
+	"perspector"
+	"perspector/internal/perf"
+)
+
+var (
+	integOnce sync.Once
+	integMeas []*perspector.Measurement
+	integErr  error
+)
+
+func fullMeasurements(t *testing.T) []*perspector.Measurement {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-budget integration test; skipped with -short")
+	}
+	integOnce.Do(func() {
+		integMeas, integErr = perspector.MeasureAll(perspector.DefaultConfig())
+	})
+	if integErr != nil {
+		t.Fatal(integErr)
+	}
+	return integMeas
+}
+
+func scoresFor(t *testing.T, group string) map[string]perspector.Scores {
+	t.Helper()
+	ms := fullMeasurements(t)
+	opts := perspector.DefaultOptions()
+	counters, err := perspector.EventGroup(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Counters = counters
+	scores, err := perspector.Compare(ms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]perspector.Scores, len(scores))
+	for _, s := range scores {
+		out[s.Suite] = s
+	}
+	return out
+}
+
+func TestIntegrationFig3aClusterScore(t *testing.T) {
+	s := scoresFor(t, "all")
+	// Ligra's shared framework gives it the worst (highest) ClusterScore.
+	for name, sc := range s {
+		if name == "ligra" {
+			continue
+		}
+		if s["ligra"].Cluster <= sc.Cluster {
+			t.Errorf("ligra cluster %.4f not above %s %.4f", s["ligra"].Cluster, name, sc.Cluster)
+		}
+	}
+}
+
+func TestIntegrationFig3aTrendScore(t *testing.T) {
+	s := scoresFor(t, "all")
+	// The real-world-application suites (parsec, spec17, sgxgauge) must
+	// all out-trend the kernel/micro suites (ligra, lmbench, nbench) by a
+	// wide margin.
+	for _, app := range []string{"parsec", "spec17", "sgxgauge"} {
+		for _, micro := range []string{"ligra", "lmbench", "nbench"} {
+			if s[app].Trend < 1.5*s[micro].Trend {
+				t.Errorf("%s trend %.1f not well above %s %.1f",
+					app, s[app].Trend, micro, s[micro].Trend)
+			}
+		}
+	}
+}
+
+func TestIntegrationFig3aCoverageScore(t *testing.T) {
+	s := scoresFor(t, "all")
+	// LMbench's corner-stressing micros give it the top CoverageScore.
+	for name, sc := range s {
+		if name == "lmbench" {
+			continue
+		}
+		if s["lmbench"].Coverage <= sc.Coverage {
+			t.Errorf("lmbench coverage %.5f not above %s %.5f",
+				s["lmbench"].Coverage, name, sc.Coverage)
+		}
+	}
+	// Nbench's tiny steady kernels cover the least.
+	for name, sc := range s {
+		if name == "nbench" {
+			continue
+		}
+		if s["nbench"].Coverage >= sc.Coverage {
+			t.Errorf("nbench coverage %.5f not below %s %.5f",
+				s["nbench"].Coverage, name, sc.Coverage)
+		}
+	}
+}
+
+func TestIntegrationFig3aSpreadScore(t *testing.T) {
+	s := scoresFor(t, "all")
+	// The real-application suites spread better (lower) than the micro
+	// suites, whose normalized vectors pile against the axes.
+	for _, app := range []string{"parsec", "spec17", "sgxgauge", "ligra"} {
+		for _, micro := range []string{"lmbench", "nbench"} {
+			if s[app].Spread >= s[micro].Spread {
+				t.Errorf("%s spread %.4f not below %s %.4f",
+					app, s[app].Spread, micro, s[micro].Spread)
+			}
+		}
+	}
+}
+
+func TestIntegrationFig3bLLCFocused(t *testing.T) {
+	s := scoresFor(t, "llc")
+	// LMbench keeps the highest coverage under LLC events…
+	for name, sc := range s {
+		if name == "lmbench" {
+			continue
+		}
+		if s["lmbench"].Coverage <= sc.Coverage {
+			t.Errorf("lmbench LLC coverage %.5f not above %s %.5f",
+				s["lmbench"].Coverage, name, sc.Coverage)
+		}
+	}
+	// …and PARSEC + SGXGauge dominate the trend score.
+	for _, top := range []string{"parsec", "sgxgauge"} {
+		for _, other := range []string{"spec17", "ligra", "lmbench", "nbench"} {
+			if s[top].Trend <= s[other].Trend {
+				t.Errorf("%s LLC trend %.1f not above %s %.1f",
+					top, s[top].Trend, other, s[other].Trend)
+			}
+		}
+	}
+	// The LLC-focused coverage of LMbench is lower than its all-events
+	// coverage (the §IV-B reduction).
+	all := scoresFor(t, "all")
+	if s["lmbench"].Coverage >= all["lmbench"].Coverage {
+		t.Errorf("lmbench LLC coverage %.5f not reduced from all-events %.5f",
+			s["lmbench"].Coverage, all["lmbench"].Coverage)
+	}
+}
+
+func TestIntegrationFig3cTLBFocused(t *testing.T) {
+	s := scoresFor(t, "tlb")
+	// The key §IV-B crossover: SPEC'17 takes the coverage lead under
+	// TLB-only events.
+	for name, sc := range s {
+		if name == "spec17" {
+			continue
+		}
+		if s["spec17"].Coverage <= sc.Coverage {
+			t.Errorf("spec17 TLB coverage %.5f not above %s %.5f",
+				s["spec17"].Coverage, name, sc.Coverage)
+		}
+	}
+	// LMbench's TLB-focused coverage collapses harder than its LLC one.
+	all := scoresFor(t, "all")
+	llc := scoresFor(t, "llc")
+	dropTLB := 1 - s["lmbench"].Coverage/all["lmbench"].Coverage
+	dropLLC := 1 - llc["lmbench"].Coverage/all["lmbench"].Coverage
+	if dropTLB <= dropLLC {
+		t.Errorf("lmbench TLB drop %.1f%% not above LLC drop %.1f%%",
+			100*dropTLB, 100*dropLLC)
+	}
+}
+
+func TestIntegrationFig4NbenchClusters(t *testing.T) {
+	s := scoresFor(t, "all")
+	// Fig. 4's contrast: Nbench clusters far more than SGXGauge.
+	if s["nbench"].Cluster <= 1.5*s["sgxgauge"].Cluster {
+		t.Errorf("nbench cluster %.4f not well above sgxgauge %.4f",
+			s["nbench"].Cluster, s["sgxgauge"].Cluster)
+	}
+}
+
+func TestIntegrationFig5TrendContrast(t *testing.T) {
+	ms := fullMeasurements(t)
+	var nb, sp *perspector.Measurement
+	for _, m := range ms {
+		switch m.Suite {
+		case "nbench":
+			nb = m
+		case "spec17":
+			sp = m
+		}
+	}
+	opts := perspector.DefaultOptions()
+	opts.Counters = []perspector.Counter{perf.LLCLoadMisses}
+	tNb, err := perspector.Score(nb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tSp, err := perspector.Score(sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tSp.Trend <= 2*tNb.Trend {
+		t.Errorf("spec17 LLC-miss trend %.1f not well above nbench %.1f",
+			tSp.Trend, tNb.Trend)
+	}
+}
+
+func TestIntegrationSubsetDeviation(t *testing.T) {
+	ms := fullMeasurements(t)
+	var sp *perspector.Measurement
+	for _, m := range ms {
+		if m.Suite == "spec17" {
+			sp = m
+		}
+	}
+	res, err := perspector.GenerateSubset(sp, perspector.DefaultOptions(),
+		perspector.DefaultSubsetOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports 6.53 %; the acceptance bar allows for the
+	// synthetic substrate but must stay in the same regime.
+	if res.Deviation > 0.15 {
+		t.Errorf("subset deviation %.1f%% outside the paper's regime (<15%%)",
+			100*res.Deviation)
+	}
+	if len(res.Names) != 8 {
+		t.Errorf("subset size %d", len(res.Names))
+	}
+}
+
+func TestIntegrationPhaseDetectionOnSimulatedSeries(t *testing.T) {
+	ms := fullMeasurements(t)
+	var pa, nb *perspector.Measurement
+	for _, m := range ms {
+		switch m.Suite {
+		case "parsec":
+			pa = m
+		case "nbench":
+			nb = m
+		}
+	}
+	countPhases := func(m *perspector.Measurement) int {
+		total := 0
+		for _, w := range m.Workloads {
+			series := w.Series.Series(perf.LLCLoadMisses)
+			drop := len(series) / 10
+			changes, err := perspector.DetectPhases(series[drop:], 6, 2.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(changes)
+		}
+		return total
+	}
+	paPhases := countPhases(pa)
+	nbPhases := countPhases(nb)
+	if paPhases <= nbPhases {
+		t.Errorf("parsec phase boundaries %d not above nbench %d", paPhases, nbPhases)
+	}
+}
+
+func TestIntegrationScoreStabilityAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stability sweep; skipped with -short")
+	}
+	// The Fig. 3a ClusterScore winner (ligra) must be stable across
+	// simulation seeds — the finding is about the suite, not the seed.
+	for _, seed := range []uint64{7, 99} {
+		cfg := perspector.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Instructions = 100_000
+		cfg.Samples = 25
+		var worst string
+		worstVal := -1.0
+		var ms []*perspector.Measurement
+		for _, name := range []string{"ligra", "sgxgauge", "parsec"} {
+			s, err := perspector.SuiteByName(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := perspector.Measure(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms = append(ms, m)
+		}
+		scores, err := perspector.Compare(ms, perspector.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range scores {
+			if s.Cluster > worstVal {
+				worstVal = s.Cluster
+				worst = s.Suite
+			}
+		}
+		if worst != "ligra" {
+			t.Errorf("seed %d: worst cluster suite is %q, want ligra", seed, worst)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package cluster implements the clustering machinery behind Perspector's
+// ClusterScore: k-means with k-means++ seeding and multiple restarts, the
+// Rousseeuw silhouette score (Eq. 1–6 of the paper), and agglomerative
+// hierarchical clustering — the prior-work baseline (Table I) that
+// Perspector's §II critiques.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"perspector/internal/mat"
+	"perspector/internal/rng"
+)
+
+// KMeansResult holds the outcome of a k-means run.
+type KMeansResult struct {
+	// Labels[i] is the cluster index of point i, in [0,k).
+	Labels []int
+	// Centroids[c] is the centre of cluster c.
+	Centroids [][]float64
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations of the best restart.
+	Iterations int
+}
+
+// KMeansOptions configures KMeans. The zero value is not valid; use
+// DefaultKMeansOptions.
+type KMeansOptions struct {
+	// MaxIter bounds Lloyd iterations per restart.
+	MaxIter int
+	// Restarts is the number of independent k-means++ initializations;
+	// the restart with the lowest inertia wins.
+	Restarts int
+	// Tol stops iteration when no centroid moves more than Tol.
+	Tol float64
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// DefaultKMeansOptions returns the options used throughout Perspector.
+func DefaultKMeansOptions(seed uint64) KMeansOptions {
+	return KMeansOptions{MaxIter: 100, Restarts: 8, Tol: 1e-9, Seed: seed}
+}
+
+// KMeans clusters the rows of x into k clusters. It returns an error when
+// k is out of range (k < 1 or k > number of rows).
+func KMeans(x *mat.Matrix, k int, opts KMeansOptions) (*KMeansResult, error) {
+	n := x.Rows()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: KMeans k=%d out of range for %d points", k, n)
+	}
+	if opts.MaxIter <= 0 || opts.Restarts <= 0 {
+		return nil, fmt.Errorf("cluster: KMeans needs positive MaxIter and Restarts")
+	}
+	src := rng.New(opts.Seed)
+	var best *KMeansResult
+	for r := 0; r < opts.Restarts; r++ {
+		res := kmeansOnce(x, k, opts, src.Split())
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(x *mat.Matrix, k int, opts KMeansOptions, src *rng.Source) *KMeansResult {
+	n, d := x.Rows(), x.Cols()
+	centroids := seedPlusPlus(x, k, src)
+	labels := make([]int, n)
+	counts := make([]int, k)
+	newCentroids := make([][]float64, k)
+	for c := range newCentroids {
+		newCentroids[c] = make([]float64, d)
+	}
+
+	iterations := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iterations = iter + 1
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			row := x.RowView(i)
+			bestC, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if dd := sqDist(row, centroids[c]); dd < bestD {
+					bestD = dd
+					bestC = c
+				}
+			}
+			labels[i] = bestC
+		}
+		// Update step.
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			for j := 0; j < d; j++ {
+				newCentroids[c][j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := labels[i]
+			counts[c]++
+			row := x.RowView(i)
+			for j := 0; j < d; j++ {
+				newCentroids[c][j] += row[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid, the standard fix that keeps k clusters alive.
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					if dd := sqDist(x.RowView(i), centroids[labels[i]]); dd > farD {
+						farD = dd
+						far = i
+					}
+				}
+				copy(newCentroids[c], x.RowView(far))
+				counts[c] = 1
+				labels[far] = c
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := 0; j < d; j++ {
+				newCentroids[c][j] *= inv
+			}
+		}
+		// Convergence check.
+		maxMove := 0.0
+		for c := 0; c < k; c++ {
+			if mv := math.Sqrt(sqDist(centroids[c], newCentroids[c])); mv > maxMove {
+				maxMove = mv
+			}
+			copy(centroids[c], newCentroids[c])
+		}
+		if maxMove <= opts.Tol {
+			break
+		}
+	}
+
+	// The loop's final assignment pass may have drained a cluster that the
+	// update-step repair had refilled. Guarantee every cluster is
+	// non-empty: silhouette (and any sane consumer) requires it.
+	for c := 0; c < k; c++ {
+		counts[c] = 0
+	}
+	for _, l := range labels {
+		counts[l]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			continue
+		}
+		far, farD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if counts[labels[i]] <= 1 {
+				continue
+			}
+			if dd := sqDist(x.RowView(i), centroids[labels[i]]); dd > farD {
+				farD = dd
+				far = i
+			}
+		}
+		if far < 0 {
+			break // fewer distinct points than clusters; nothing to move
+		}
+		counts[labels[far]]--
+		labels[far] = c
+		counts[c] = 1
+		copy(centroids[c], x.RowView(far))
+	}
+
+	inertia := 0.0
+	for i := 0; i < n; i++ {
+		inertia += sqDist(x.RowView(i), centroids[labels[i]])
+	}
+	out := &KMeansResult{
+		Labels:     append([]int(nil), labels...),
+		Centroids:  make([][]float64, k),
+		Inertia:    inertia,
+		Iterations: iterations,
+	}
+	for c := range centroids {
+		out.Centroids[c] = append([]float64(nil), centroids[c]...)
+	}
+	return out
+}
+
+// seedPlusPlus implements k-means++ initialization.
+func seedPlusPlus(x *mat.Matrix, k int, src *rng.Source) [][]float64 {
+	n, d := x.Rows(), x.Cols()
+	centroids := make([][]float64, 0, k)
+	first := src.Intn(n)
+	centroids = append(centroids, append([]float64(nil), x.RowView(first)...))
+
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(x.RowView(i), centroids[0])
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, dd := range minDist {
+			total += dd
+		}
+		var chosen int
+		if total == 0 {
+			// All remaining points coincide with existing centroids.
+			chosen = src.Intn(n)
+		} else {
+			target := src.Float64() * total
+			acc := 0.0
+			chosen = n - 1
+			for i, dd := range minDist {
+				acc += dd
+				if acc >= target {
+					chosen = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), x.RowView(chosen)...)
+		centroids = append(centroids, c)
+		for i := 0; i < n; i++ {
+			if dd := sqDist(x.RowView(i), c); dd < minDist[i] {
+				minDist[i] = dd
+			}
+		}
+	}
+	_ = d
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		sum += diff * diff
+	}
+	return sum
+}

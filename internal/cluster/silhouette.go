@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+
+	"perspector/internal/mat"
+)
+
+// Silhouette computes the paper's Eq. 1–5 exactly:
+//
+//	η(p)   — mean distance from p to the other members of its own cluster,
+//	λ(p)   — the minimum over other clusters of the mean distance to them,
+//	S(p)   — (λ−η)/max(λ,η), zero when only one cluster exists,
+//	S(C)   — mean of S(p) over the cluster's points,
+//	S(W)_k — mean of S(C) over the k clusters.
+//
+// Note the paper averages per-cluster then across clusters (Eq. 4–5), which
+// differs from the common "average over all points" convention when cluster
+// sizes are unbalanced; we follow the paper.
+//
+// labels must assign every point to a cluster in [0,k); every cluster index
+// must be non-empty.
+func Silhouette(x *mat.Matrix, labels []int, k int) (float64, error) {
+	n := x.Rows()
+	if len(labels) != n {
+		return 0, fmt.Errorf("cluster: Silhouette got %d labels for %d points", len(labels), n)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("cluster: Silhouette with k=%d", k)
+	}
+	if k == 1 {
+		// Eq. 3: S(p) = 0 when k = 1.
+		return 0, nil
+	}
+	members := make([][]int, k)
+	for i, c := range labels {
+		if c < 0 || c >= k {
+			return 0, fmt.Errorf("cluster: label %d out of range [0,%d)", c, k)
+		}
+		members[c] = append(members[c], i)
+	}
+	for c, m := range members {
+		if len(m) == 0 {
+			return 0, fmt.Errorf("cluster: cluster %d is empty", c)
+		}
+	}
+
+	// Pairwise distances, computed once.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := mat.Dist(x.RowView(i), x.RowView(j))
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	pointScore := func(p int) float64 {
+		own := labels[p]
+		// η(p): singleton clusters get η = 0 by the standard convention
+		// (Eq. 1 is undefined for |C|=1; Rousseeuw sets S(p)=0 there).
+		if len(members[own]) == 1 {
+			return 0
+		}
+		eta := 0.0
+		for _, q := range members[own] {
+			if q != p {
+				eta += dist[p][q]
+			}
+		}
+		eta /= float64(len(members[own]) - 1)
+
+		// λ(p): Eq. 2, minimized over the other clusters.
+		lambda := 0.0
+		first := true
+		for c := 0; c < k; c++ {
+			if c == own {
+				continue
+			}
+			cost := 0.0
+			for _, q := range members[c] {
+				cost += dist[p][q]
+			}
+			cost /= float64(len(members[c]))
+			if first || cost < lambda {
+				lambda = cost
+				first = false
+			}
+		}
+
+		den := eta
+		if lambda > den {
+			den = lambda
+		}
+		if den == 0 {
+			return 0
+		}
+		return (lambda - eta) / den
+	}
+
+	// Eq. 4–5: per-cluster means, then the mean across clusters.
+	total := 0.0
+	for c := 0; c < k; c++ {
+		clusterSum := 0.0
+		for _, p := range members[c] {
+			clusterSum += pointScore(p)
+		}
+		total += clusterSum / float64(len(members[c]))
+	}
+	return total / float64(k), nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"perspector/internal/stat"
+)
+
+// PhaseDetection is the extension sketched by the paper's citation of
+// Nomani & Szefer [26]: hardware-counter time series expose program phase
+// changes as level shifts. DetectPhases finds them with a two-window mean
+// comparison: a change point is reported where the mean of the next
+// `window` samples differs from the mean of the previous `window` samples
+// by more than `threshold` times the *local* noise level (the larger of
+// the two windows' standard deviations), keeping only local maxima of the
+// shift magnitude. Normalizing by local noise rather than the global
+// standard deviation matters: the global value is inflated by the very
+// level shifts being detected.
+
+// PhaseChange is one detected phase boundary.
+type PhaseChange struct {
+	// Index is the sample position of the boundary.
+	Index int
+	// Shift is the normalized magnitude of the level change (in units of
+	// the local noise level).
+	Shift float64
+}
+
+// DetectPhases returns the phase boundaries of a counter delta series.
+// window is the half-window size in samples; threshold is the minimum
+// shift in local-noise units (typical values: window 5–10, threshold
+// 1.5–3). The first and last `window` samples cannot host a boundary.
+func DetectPhases(series []float64, window int, threshold float64) ([]PhaseChange, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("core: DetectPhases window %d < 1", window)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("core: DetectPhases threshold %v <= 0", threshold)
+	}
+	n := len(series)
+	if n < 2*window+1 {
+		return nil, nil // too short to contain a detectable boundary
+	}
+	if stat.StdDev(series) == 0 {
+		return nil, nil // perfectly flat
+	}
+
+	// Shift magnitude at every candidate point, in units of local noise.
+	// Perfectly flat windows get a tiny floor so a clean level change
+	// yields a very large (finite) shift.
+	shifts := make([]float64, n)
+	for t := window; t <= n-window; t++ {
+		leftW := series[t-window : t]
+		rightW := series[t : t+window]
+		diff := stat.Mean(rightW) - stat.Mean(leftW)
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := stat.StdDev(leftW)
+		if s := stat.StdDev(rightW); s > scale {
+			scale = s
+		}
+		if scale == 0 {
+			scale = 1e-12 * (1 + diff)
+		}
+		shifts[t] = diff / scale
+	}
+
+	// Keep local maxima above threshold, suppressing neighbours within a
+	// window so one transition yields one boundary.
+	var out []PhaseChange
+	lastIdx := -2 * window
+	for t := window; t <= n-window; t++ {
+		if shifts[t] < threshold {
+			continue
+		}
+		isPeak := true
+		for d := 1; d <= window; d++ {
+			if t-d >= 0 && shifts[t-d] > shifts[t] {
+				isPeak = false
+				break
+			}
+			if t+d < n && shifts[t+d] > shifts[t] {
+				isPeak = false
+				break
+			}
+		}
+		if !isPeak {
+			continue
+		}
+		if t-lastIdx < window {
+			// Merge with the previous boundary, keeping the stronger.
+			if len(out) > 0 && shifts[t] > out[len(out)-1].Shift {
+				out[len(out)-1] = PhaseChange{Index: t, Shift: shifts[t]}
+				lastIdx = t
+			}
+			continue
+		}
+		out = append(out, PhaseChange{Index: t, Shift: shifts[t]})
+		lastIdx = t
+	}
+	return out, nil
+}

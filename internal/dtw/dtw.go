@@ -1,0 +1,223 @@
+// Package dtw implements Dynamic Time Warping and the series normalization
+// Perspector's TrendScore requires (§III-B): the distance between two
+// counter time series of possibly different lengths, computed after
+// mapping each series' values through its own empirical CDF (y-axis,
+// bounded to [0,100]) and resampling onto an execution-time percentile
+// grid (x-axis).
+package dtw
+
+import (
+	"fmt"
+	"math"
+
+	"perspector/internal/stat"
+)
+
+// Distance returns the classic DTW distance between two series using
+// absolute difference as the local cost and the full dynamic program.
+// It panics if either series is empty.
+func Distance(a, b []float64) float64 {
+	d, err := DistanceBanded(a, b, 0)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// DistanceBanded returns the DTW distance constrained to a Sakoe–Chiba band
+// of the given half-width. A band of 0 (or any band at least as wide as
+// the length difference... specifically >= |len(a)-len(b)| and wide enough)
+// means "no constraint" when band <= 0. It returns an error when a series
+// is empty or when the band is too narrow to admit any warping path.
+func DistanceBanded(a, b []float64, band int) (float64, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, fmt.Errorf("dtw: empty series (lengths %d, %d)", n, m)
+	}
+	unbounded := band <= 0
+	if !unbounded && band < abs(n-m) {
+		return 0, fmt.Errorf("dtw: band %d narrower than length difference %d", band, abs(n-m))
+	}
+
+	// Two-row DP to keep memory at O(m).
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = math.Inf(1)
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		lo, hi := 1, m
+		if !unbounded {
+			// Scale the band to handle unequal lengths (standard practice).
+			center := i * m / n
+			if lo < center-band {
+				lo = center - band
+			}
+			if hi > center+band {
+				hi = center + band
+			}
+		}
+		for j := 1; j <= m; j++ {
+			if j < lo || j > hi {
+				cur[j] = math.Inf(1)
+				continue
+			}
+			cost := math.Abs(a[i-1] - b[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[m]
+	// Without a band every cell is reachable, so an infinite result can only
+	// come from float overflow in the local cost — pass it through. With a
+	// band, Inf means the band admitted no warping path.
+	if !unbounded && math.IsInf(d, 1) {
+		return 0, fmt.Errorf("dtw: band %d admits no warping path for lengths %d, %d", band, n, m)
+	}
+	return d, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Path returns the optimal warping path as index pairs (i into a, j into b)
+// along with the DTW distance, using the full dynamic program. It panics if
+// either series is empty.
+func Path(a, b []float64) ([][2]int, float64) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		panic(fmt.Sprintf("dtw: Path with empty series (lengths %d, %d)", n, m))
+	}
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, m+1)
+		for j := range dp[i] {
+			dp[i][j] = math.Inf(1)
+		}
+	}
+	dp[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			cost := math.Abs(a[i-1] - b[j-1])
+			best := dp[i-1][j]
+			if dp[i-1][j-1] < best {
+				best = dp[i-1][j-1]
+			}
+			if dp[i][j-1] < best {
+				best = dp[i][j-1]
+			}
+			dp[i][j] = cost + best
+		}
+	}
+	// Backtrack.
+	var path [][2]int
+	i, j := n, m
+	for i > 1 || j > 1 {
+		path = append(path, [2]int{i - 1, j - 1})
+		diag, up, left := math.Inf(1), math.Inf(1), math.Inf(1)
+		if i > 1 && j > 1 {
+			diag = dp[i-1][j-1]
+		}
+		if i > 1 {
+			up = dp[i-1][j]
+		}
+		if j > 1 {
+			left = dp[i][j-1]
+		}
+		switch {
+		case diag <= up && diag <= left:
+			i, j = i-1, j-1
+		case up <= left:
+			i--
+		default:
+			j--
+		}
+	}
+	path = append(path, [2]int{0, 0})
+	// Reverse into forward order.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path, dp[n][m]
+}
+
+// NormalizeSeries applies the paper's §III-B1 two-axis normalization to a
+// raw counter delta time series (event counts per sample interval):
+//
+//   - y-axis: the series is converted to its CDF — the cumulative fraction
+//     of the metric's total events observed up to each sample, scaled to
+//     [0,100]. A steady workload becomes the straight diagonal; phases
+//     appear as knees in the curve. This bounds pointwise distances to
+//     [0,100] and erases absolute magnitudes (Fig. 1): a workload with 10⁹
+//     LLC misses and one with 10³ compare purely by *when* their events
+//     happen.
+//   - x-axis: the curve is resampled onto an execution-time percentile
+//     grid with gridPoints+1 samples, so different execution lengths
+//     compare directly.
+//
+// A series with no events at all maps to the diagonal (the "uninformative
+// steady" shape), making it indistinguishable from a constant-rate
+// workload — both are phase-free.
+func NormalizeSeries(series []float64, gridPoints int) []float64 {
+	n := len(series)
+	if n == 0 {
+		return make([]float64, gridPoints+1)
+	}
+	// cum[0] = 0 anchors the curve at the start of execution, so sample i
+	// sits at time fraction i/n exactly; without the anchor, series of
+	// different lengths carry an O(1/n) systematic offset that shows up
+	// as fake DTW distance between identically-shaped workloads.
+	cum := make([]float64, n+1)
+	total := 0.0
+	for i, v := range series {
+		if v < 0 {
+			v = 0 // deltas are counts; clamp defensively
+		}
+		total += v
+		cum[i+1] = total
+	}
+	if total == 0 {
+		// No events: diagonal.
+		for i := range cum {
+			cum[i] = 100 * float64(i) / float64(n)
+		}
+	} else {
+		inv := 100 / total
+		for i := range cum {
+			cum[i] *= inv
+		}
+	}
+	return stat.ResampleToPercentiles(cum, gridPoints)
+}
+
+// NormalizeSeriesValueCDF is the alternative reading of §III-B1 that maps
+// each value through the series' own empirical value-CDF instead of
+// accumulating events over time. It is kept for the ablation study: it is
+// also magnitude-invariant, but it amplifies sampling noise on steady
+// series (every flat series rank-transforms to full-scale noise), which
+// inverts the paper's LMbench/Nbench trend results. See DESIGN.md.
+func NormalizeSeriesValueCDF(series []float64, gridPoints int) []float64 {
+	if len(series) == 0 {
+		return make([]float64, gridPoints+1)
+	}
+	return stat.ResampleToPercentiles(stat.CDFNormalize(series), gridPoints)
+}
+
+// NormalizedDistance is the TrendScore building block: DTW between two raw
+// series after NormalizeSeries on both, using the given percentile grid.
+func NormalizedDistance(a, b []float64, gridPoints int) float64 {
+	return Distance(NormalizeSeries(a, gridPoints), NormalizeSeries(b, gridPoints))
+}

@@ -1,0 +1,124 @@
+// Package lhs implements Latin Hypercube Sampling and the
+// nearest-workload matching that Perspector's subset generator (§IV-C)
+// builds on. LHS divides each of the M dimensions into N equal-probability
+// regions and draws exactly one sample per region per dimension, giving
+// far better space-filling than N independent uniform draws.
+package lhs
+
+import (
+	"fmt"
+	"math"
+
+	"perspector/internal/mat"
+	"perspector/internal/rng"
+)
+
+// Sample returns n points in [0,1)^dims arranged as an n×dims matrix, where
+// each dimension's n values occupy distinct 1/n-width strata. The sampling
+// is deterministic for a given seed.
+func Sample(n, dims int, seed uint64) (*mat.Matrix, error) {
+	if n < 1 || dims < 1 {
+		return nil, fmt.Errorf("lhs: Sample(n=%d, dims=%d) needs positive arguments", n, dims)
+	}
+	src := rng.New(seed)
+	out := mat.New(n, dims)
+	for d := 0; d < dims; d++ {
+		perm := src.Perm(n)
+		for i := 0; i < n; i++ {
+			// Stratum perm[i], jittered uniformly within the stratum.
+			out.Set(i, d, (float64(perm[i])+src.Float64())/float64(n))
+		}
+	}
+	return out, nil
+}
+
+// SampleMaximin draws `tries` independent LHS designs and keeps the one
+// whose minimum pairwise point distance is largest (a maximin design).
+// This reduces the chance of two sample points landing close together,
+// which would select near-duplicate workloads during subsetting.
+func SampleMaximin(n, dims int, seed uint64, tries int) (*mat.Matrix, error) {
+	if tries < 1 {
+		return nil, fmt.Errorf("lhs: SampleMaximin needs tries >= 1, got %d", tries)
+	}
+	var best *mat.Matrix
+	bestScore := -1.0
+	for t := 0; t < tries; t++ {
+		s, err := Sample(n, dims, rng.ChildSeed(seed, t))
+		if err != nil {
+			return nil, err
+		}
+		score := minPairDist(s)
+		if score > bestScore {
+			bestScore = score
+			best = s
+		}
+	}
+	return best, nil
+}
+
+func minPairDist(x *mat.Matrix) float64 {
+	n := x.Rows()
+	if n < 2 {
+		return math.Inf(1)
+	}
+	min := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := mat.Dist(x.RowView(i), x.RowView(j)); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+// NearestRows matches each sample point (rows of samples) to the nearest
+// row of candidates (Euclidean), without replacement: once a candidate is
+// taken it cannot be selected again, so n sample points yield n distinct
+// candidate indices. Sample points are processed greedily in order of
+// their best-match distance, ties broken by lower index, which makes the
+// matching deterministic and close to optimal for well-spread designs.
+//
+// It returns the selected candidate indices in ascending order. It errors
+// if there are fewer candidates than samples or if widths disagree.
+func NearestRows(samples, candidates *mat.Matrix) ([]int, error) {
+	ns, nc := samples.Rows(), candidates.Rows()
+	if nc < ns {
+		return nil, fmt.Errorf("lhs: %d candidates for %d samples", nc, ns)
+	}
+	if samples.Cols() != candidates.Cols() {
+		return nil, fmt.Errorf("lhs: dimension mismatch %d vs %d", samples.Cols(), candidates.Cols())
+	}
+	taken := make([]bool, nc)
+	assigned := make([]bool, ns)
+	var selected []int
+	for round := 0; round < ns; round++ {
+		// Among unassigned samples, pick the (sample, free candidate) pair
+		// with the globally smallest distance.
+		bestS, bestC, bestD := -1, -1, math.Inf(1)
+		for s := 0; s < ns; s++ {
+			if assigned[s] {
+				continue
+			}
+			for c := 0; c < nc; c++ {
+				if taken[c] {
+					continue
+				}
+				if d := mat.Dist(samples.RowView(s), candidates.RowView(c)); d < bestD {
+					bestD = d
+					bestS, bestC = s, c
+				}
+			}
+		}
+		assigned[bestS] = true
+		taken[bestC] = true
+		selected = append(selected, bestC)
+	}
+	// Ascending order for stable reporting.
+	for i := 1; i < len(selected); i++ {
+		for j := i; j > 0 && selected[j] < selected[j-1]; j-- {
+			selected[j], selected[j-1] = selected[j-1], selected[j]
+		}
+	}
+	return selected, nil
+}

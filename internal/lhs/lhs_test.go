@@ -1,0 +1,277 @@
+package lhs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perspector/internal/mat"
+	"perspector/internal/rng"
+)
+
+func TestSampleStratification(t *testing.T) {
+	// Each dimension must contain exactly one point per 1/n stratum.
+	s, err := Sample(10, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		seen := make([]bool, 10)
+		for i := 0; i < 10; i++ {
+			v := s.At(i, d)
+			if v < 0 || v >= 1 {
+				t.Fatalf("sample out of [0,1): %v", v)
+			}
+			stratum := int(v * 10)
+			if seen[stratum] {
+				t.Fatalf("dim %d stratum %d sampled twice", d, stratum)
+			}
+			seen[stratum] = true
+		}
+	}
+}
+
+func TestSampleStratificationProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		dims := int(dRaw%6) + 1
+		s, err := Sample(n, dims, seed)
+		if err != nil {
+			return false
+		}
+		for d := 0; d < dims; d++ {
+			seen := make([]bool, n)
+			for i := 0; i < n; i++ {
+				v := s.At(i, d)
+				if v < 0 || v >= 1 {
+					return false
+				}
+				stratum := int(v * float64(n))
+				if stratum >= n {
+					stratum = n - 1
+				}
+				if seen[stratum] {
+					return false
+				}
+				seen[stratum] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a, _ := Sample(8, 4, 7)
+	b, _ := Sample(8, 4, 7)
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed produced different designs")
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	if _, err := Sample(0, 2, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Sample(2, 0, 1); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+}
+
+func TestSampleMaximinImproves(t *testing.T) {
+	// The maximin design over 32 tries should have min-distance at least as
+	// good as the first single try.
+	single, err := Sample(8, 2, rng.ChildSeed(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := SampleMaximin(8, 2, 5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minPairDist(best) < minPairDist(single)-1e-12 {
+		t.Fatalf("maximin %v worse than single draw %v", minPairDist(best), minPairDist(single))
+	}
+}
+
+func TestSampleMaximinErrors(t *testing.T) {
+	if _, err := SampleMaximin(4, 2, 1, 0); err == nil {
+		t.Fatal("tries=0 accepted")
+	}
+}
+
+func TestNearestRowsExactMatch(t *testing.T) {
+	cands := mat.FromRows([][]float64{{0, 0}, {0.5, 0.5}, {1, 1}})
+	samples := mat.FromRows([][]float64{{0.49, 0.51}, {0.01, 0.01}})
+	idx, err := NearestRows(samples, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("NearestRows = %v, want [0 1]", idx)
+	}
+}
+
+func TestNearestRowsWithoutReplacement(t *testing.T) {
+	// Two samples both nearest to candidate 0: only one may take it.
+	cands := mat.FromRows([][]float64{{0, 0}, {10, 10}, {20, 20}})
+	samples := mat.FromRows([][]float64{{0.1, 0}, {0, 0.1}})
+	idx, err := NearestRows(samples, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] == idx[1] {
+		t.Fatalf("NearestRows reused a candidate: %v", idx)
+	}
+}
+
+func TestNearestRowsDistinctProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		nc, ns, d := 12, 5, 3
+		cRows := make([][]float64, nc)
+		for i := range cRows {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = src.Float64()
+			}
+			cRows[i] = row
+		}
+		sRows := make([][]float64, ns)
+		for i := range sRows {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = src.Float64()
+			}
+			sRows[i] = row
+		}
+		idx, err := NearestRows(mat.FromRows(sRows), mat.FromRows(cRows))
+		if err != nil || len(idx) != ns {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range idx {
+			if i < 0 || i >= nc || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		// Ascending order.
+		for i := 1; i < len(idx); i++ {
+			if idx[i] <= idx[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestRowsErrors(t *testing.T) {
+	if _, err := NearestRows(mat.New(3, 2), mat.New(2, 2)); err == nil {
+		t.Fatal("too few candidates accepted")
+	}
+	if _, err := NearestRows(mat.New(1, 2), mat.New(2, 3)); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestLHSBetterSpaceFillingThanUniform(t *testing.T) {
+	// Statistically, LHS per-dimension discrepancy beats iid uniform draws.
+	// Compare the max per-dimension gap between sorted samples.
+	n := 16
+	worstGap := func(x *mat.Matrix, d int) float64 {
+		vals := x.Col(d)
+		// insertion sort (n is tiny)
+		for i := 1; i < len(vals); i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
+		gap := vals[0]
+		for i := 1; i < len(vals); i++ {
+			if g := vals[i] - vals[i-1]; g > gap {
+				gap = g
+			}
+		}
+		if g := 1 - vals[len(vals)-1]; g > gap {
+			gap = g
+		}
+		return gap
+	}
+	lhsDesign, err := Sample(n, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+	iid := mat.New(n, 1)
+	for i := 0; i < n; i++ {
+		iid.Set(i, 0, src.Float64())
+	}
+	// An LHS gap can never exceed 2/n; iid commonly does at n=16.
+	if g := worstGap(lhsDesign, 0); g > 2.0/float64(n)+1e-9 {
+		t.Fatalf("LHS max gap %v exceeds 2/n", g)
+	}
+	_ = iid // iid gap not asserted (stochastic); LHS bound is the guarantee
+}
+
+func TestLHSGapBoundProperty(t *testing.T) {
+	// Per-dimension, the largest gap between adjacent LHS samples is < 2/n
+	// (one empty-interior stratum boundary each side).
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		s, err := Sample(n, 2, seed)
+		if err != nil {
+			return false
+		}
+		for d := 0; d < 2; d++ {
+			vals := s.Col(d)
+			for i := 1; i < len(vals); i++ {
+				for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+					vals[j], vals[j-1] = vals[j-1], vals[j]
+				}
+			}
+			for i := 1; i < len(vals); i++ {
+				if vals[i]-vals[i-1] >= 2.0/float64(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSampleMaximin8x14(b *testing.B) {
+	// The paper's subset draw: 8 samples in 14 counter dimensions.
+	for i := 0; i < b.N; i++ {
+		if _, err := SampleMaximin(8, 14, uint64(i), 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearestRows43(b *testing.B) {
+	src := rng.New(1)
+	cRows := make([][]float64, 43)
+	for i := range cRows {
+		row := make([]float64, 14)
+		for j := range row {
+			row[j] = src.Float64()
+		}
+		cRows[i] = row
+	}
+	cands := mat.FromRows(cRows)
+	samples, _ := Sample(8, 14, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NearestRows(samples, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

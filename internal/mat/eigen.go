@@ -1,0 +1,127 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: Values[i] is
+// the i-th eigenvalue and the i-th column of Vectors is its unit
+// eigenvector. Pairs are sorted by descending eigenvalue.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// jacobiMaxSweeps bounds the cyclic Jacobi iteration. Convergence for the
+// small, well-conditioned covariance matrices Perspector produces takes a
+// handful of sweeps; 100 sweeps is a generous safety margin.
+const jacobiMaxSweeps = 100
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. The input must be square and symmetric within tol;
+// it is not modified. Results are deterministic.
+func SymEigen(a *Matrix, tol float64) (*Eigen, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: SymEigen on non-square %dx%d matrix", a.rows, a.cols)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tol+1e-9*math.Max(math.Abs(a.At(i, j)), 1) {
+				return nil, fmt.Errorf("mat: SymEigen input not symmetric at (%d,%d): %g vs %g",
+					i, j, a.At(i, j), a.At(j, i))
+			}
+		}
+	}
+	if n == 0 {
+		return &Eigen{Values: nil, Vectors: New(0, 0)}, nil
+	}
+
+	w := a.Clone()
+	v := New(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if math.Sqrt(2*off) <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= tol/float64(n*n) {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation G(p,q,θ)ᵀ W G(p,q,θ).
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort by descending eigenvalue.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	e := &Eigen{Values: make([]float64, n), Vectors: New(n, n)}
+	for out, p := range pairs {
+		e.Values[out] = p.val
+		// Fix the sign convention: largest-magnitude component positive.
+		maxAbs, sign := 0.0, 1.0
+		for k := 0; k < n; k++ {
+			if av := math.Abs(v.At(k, p.idx)); av > maxAbs {
+				maxAbs = av
+				if v.At(k, p.idx) < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			e.Vectors.Set(k, out, sign*v.At(k, p.idx))
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,192 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 1}})
+	e, err := SymEigen(a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("Values = %v, want [3 1]", e.Values)
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymEigen(a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("Values = %v, want [3 1]", e.Values)
+	}
+	// Eigenvector for λ=3 is (1,1)/√2 up to sign.
+	v0 := []float64{e.Vectors.At(0, 0), e.Vectors.At(1, 0)}
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-10 ||
+		math.Abs(v0[0]-v0[1]) > 1e-10 {
+		t.Fatalf("first eigenvector = %v", v0)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	a := FromRows([][]float64{
+		{4, 1, 0.5},
+		{1, 3, 0.2},
+		{0.5, 0.2, 1},
+	})
+	e, err := SymEigen(a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild A = V Λ Vᵀ.
+	n := 3
+	lam := New(n, n)
+	for i := 0; i < n; i++ {
+		lam.Set(i, i, e.Values[i])
+	}
+	rec := e.Vectors.Mul(lam).Mul(e.Vectors.T())
+	if !rec.Equal(a, 1e-8) {
+		t.Fatalf("V Λ Vᵀ = \n%v want \n%v", rec, a)
+	}
+}
+
+func TestSymEigenOrthonormalVectors(t *testing.T) {
+	a := FromRows([][]float64{
+		{5, 2, 1, 0},
+		{2, 4, 0.5, 0.1},
+		{1, 0.5, 3, 0.2},
+		{0, 0.1, 0.2, 2},
+	})
+	e, err := SymEigen(a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtv := e.Vectors.T().Mul(e.Vectors)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(vtv.At(i, j)-want) > 1e-8 {
+				t.Fatalf("VᵀV not identity at (%d,%d): %v", i, j, vtv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSymEigenSortedDescending(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 0.3, 0},
+		{0.3, 7, 0.1},
+		{0, 0.1, 4},
+	})
+	e, err := SymEigen(a, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(e.Values); i++ {
+		if e.Values[i] > e.Values[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", e.Values)
+		}
+	}
+}
+
+func TestSymEigenTraceInvariant(t *testing.T) {
+	// Sum of eigenvalues equals the trace, for random symmetric matrices.
+	f := func(raw [10]float64) bool {
+		n := 4
+		a := New(n, n)
+		k := 0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := math.Mod(raw[k], 10)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 1
+				}
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+				k++
+			}
+		}
+		e, err := SymEigen(a, 1e-12)
+		if err != nil {
+			return false
+		}
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += e.Values[i]
+		}
+		return math.Abs(trace-sum) < 1e-6*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigenNonSquare(t *testing.T) {
+	if _, err := SymEigen(New(2, 3), 1e-12); err == nil {
+		t.Fatal("non-square input accepted")
+	}
+}
+
+func TestSymEigenAsymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 1}})
+	if _, err := SymEigen(a, 1e-12); err == nil {
+		t.Fatal("asymmetric input accepted")
+	}
+}
+
+func TestSymEigenEmpty(t *testing.T) {
+	e, err := SymEigen(New(0, 0), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Values) != 0 {
+		t.Fatal("empty matrix should yield no eigenvalues")
+	}
+}
+
+func TestSymEigenPSDCovariance(t *testing.T) {
+	// Covariance matrices are PSD: all eigenvalues >= 0 (within tolerance).
+	m := FromRows([][]float64{
+		{1, 2, 0.5}, {2, 4.1, 1}, {0.3, 1.2, 2}, {4, 0.1, 0.2}, {2.5, 2.5, 2.5},
+	})
+	e, err := SymEigen(m.Covariance(), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range e.Values {
+		if v < -1e-9 {
+			t.Fatalf("negative eigenvalue %v for PSD matrix", v)
+		}
+	}
+}
+
+func BenchmarkSymEigen14(b *testing.B) {
+	// 14x14 is the covariance size for the full Table-IV counter set.
+	n := 14
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := float64((i*7+j*3)%11) / 11
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Set(i, i, float64(i)+2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEigen(a, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package pca implements principal component analysis over a
+// samples×features matrix, exactly as Perspector's CoverageScore pipeline
+// requires (Eq. 11–13): decompose the feature covariance, keep the leading
+// components until a target fraction of variance is retained, and report
+// the per-component variance of the projected data.
+//
+// The eigendecomposition is the deterministic cyclic Jacobi method from
+// internal/mat, so results are reproducible across runs and platforms.
+package pca
+
+import (
+	"fmt"
+
+	"perspector/internal/mat"
+)
+
+// Result holds a fitted PCA model and the projection of the input.
+type Result struct {
+	// Components is a features×k matrix whose columns are the retained
+	// principal axes, ordered by descending explained variance.
+	Components *mat.Matrix
+	// Transformed is the samples×k projection of the (centered) input.
+	Transformed *mat.Matrix
+	// Variances[i] is the variance of the data along component i
+	// (the i-th eigenvalue of the covariance matrix).
+	Variances []float64
+	// ExplainedRatio[i] is Variances[i] / total variance.
+	ExplainedRatio []float64
+	// Means is the per-feature mean used for centering.
+	Means []float64
+}
+
+// K returns the number of retained components.
+func (r *Result) K() int { return len(r.Variances) }
+
+// Fit computes PCA on x (rows = samples, cols = features) and keeps the
+// smallest number of leading components whose cumulative explained variance
+// reaches retainVariance (in (0,1]); the paper uses 0.98. If the total
+// variance is zero (all rows identical), a single zero-variance component
+// is retained so downstream code always has at least one dimension.
+func Fit(x *mat.Matrix, retainVariance float64) (*Result, error) {
+	if retainVariance <= 0 || retainVariance > 1 {
+		return nil, fmt.Errorf("pca: retainVariance %v out of (0,1]", retainVariance)
+	}
+	if x.Rows() == 0 || x.Cols() == 0 {
+		return nil, fmt.Errorf("pca: Fit on empty %dx%d matrix", x.Rows(), x.Cols())
+	}
+	cov := x.Covariance()
+	eig, err := mat.SymEigen(cov, 1e-12)
+	if err != nil {
+		return nil, fmt.Errorf("pca: eigendecomposition failed: %w", err)
+	}
+
+	total := 0.0
+	for _, v := range eig.Values {
+		if v > 0 {
+			total += v
+		}
+	}
+	k := 1
+	if total > 0 {
+		acc := 0.0
+		k = 0
+		for _, v := range eig.Values {
+			if v < 0 {
+				v = 0 // clamp round-off negatives in PSD spectra
+			}
+			acc += v
+			k++
+			if acc/total >= retainVariance {
+				break
+			}
+		}
+	}
+
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	components := eig.Vectors.SelectCols(idx)
+
+	// Center and project.
+	means := x.ColMeans()
+	centered := x.Clone()
+	for i := 0; i < centered.Rows(); i++ {
+		row := centered.RowView(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	transformed := centered.Mul(components)
+
+	res := &Result{
+		Components:     components,
+		Transformed:    transformed,
+		Variances:      make([]float64, k),
+		ExplainedRatio: make([]float64, k),
+		Means:          means,
+	}
+	for i := 0; i < k; i++ {
+		v := eig.Values[i]
+		if v < 0 {
+			v = 0
+		}
+		res.Variances[i] = v
+		if total > 0 {
+			res.ExplainedRatio[i] = v / total
+		}
+	}
+	return res, nil
+}
+
+// Project maps new rows (same feature count as the fitted data) into the
+// retained component space using the stored means.
+func (r *Result) Project(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != len(r.Means) {
+		return nil, fmt.Errorf("pca: Project with %d features, model has %d", x.Cols(), len(r.Means))
+	}
+	centered := x.Clone()
+	for i := 0; i < centered.Rows(); i++ {
+		row := centered.RowView(i)
+		for j := range row {
+			row[j] -= r.Means[j]
+		}
+	}
+	return centered.Mul(r.Components), nil
+}
+
+// MeanComponentVariance is the CoverageScore aggregation of Eq. 13: the
+// average, over retained components, of the variance of the transformed
+// data along that component.
+func (r *Result) MeanComponentVariance() float64 {
+	if len(r.Variances) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range r.Variances {
+		sum += v
+	}
+	return sum / float64(len(r.Variances))
+}

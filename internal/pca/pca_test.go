@@ -1,0 +1,249 @@
+package pca
+
+import (
+	"math"
+	"testing"
+
+	"perspector/internal/mat"
+	"perspector/internal/rng"
+	"perspector/internal/stat"
+)
+
+func TestFitLine(t *testing.T) {
+	// Points on the line y = 2x: one component captures everything.
+	rows := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	res, err := Fit(mat.FromRows(rows), 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 1 {
+		t.Fatalf("K = %d, want 1", res.K())
+	}
+	if res.ExplainedRatio[0] < 0.999 {
+		t.Fatalf("explained = %v", res.ExplainedRatio[0])
+	}
+	// The principal axis is (1,2)/√5 up to sign.
+	c := res.Components
+	ratio := c.At(1, 0) / c.At(0, 0)
+	if math.Abs(ratio-2) > 1e-8 {
+		t.Fatalf("axis = (%v, %v), want slope 2", c.At(0, 0), c.At(1, 0))
+	}
+}
+
+func TestFitRetainsVarianceFraction(t *testing.T) {
+	// Three independent axes with variances ~100, ~1, ~0.01: retaining 0.98
+	// keeps the first two at most.
+	src := rng.New(1)
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{src.Norm(0, 10), src.Norm(0, 1), src.Norm(0, 0.1)}
+	}
+	res, err := Fit(mat.FromRows(rows), 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() < 1 || res.K() > 2 {
+		t.Fatalf("K = %d, want 1 or 2", res.K())
+	}
+	sum := 0.0
+	for _, r := range res.ExplainedRatio {
+		sum += r
+	}
+	if sum < 0.98 {
+		t.Fatalf("cumulative explained = %v < 0.98", sum)
+	}
+}
+
+func TestTransformedVarianceMatchesEigenvalue(t *testing.T) {
+	src := rng.New(2)
+	rows := make([][]float64, 100)
+	for i := range rows {
+		a, b := src.Norm(0, 3), src.Norm(0, 1)
+		rows[i] = []float64{a + b, a - b, b * 2}
+	}
+	res, err := Fit(mat.FromRows(rows), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < res.K(); c++ {
+		col := res.Transformed.Col(c)
+		v := stat.Variance(col)
+		if math.Abs(v-res.Variances[c]) > 1e-6*(1+res.Variances[c]) {
+			t.Fatalf("component %d: projected variance %v != eigenvalue %v", c, v, res.Variances[c])
+		}
+	}
+}
+
+func TestTransformedComponentsUncorrelated(t *testing.T) {
+	src := rng.New(3)
+	rows := make([][]float64, 80)
+	for i := range rows {
+		a := src.Norm(0, 2)
+		rows[i] = []float64{a, a + src.Norm(0, 1), src.Norm(0, 1)}
+	}
+	res, err := Fit(mat.FromRows(rows), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Transformed.Covariance()
+	for i := 0; i < res.K(); i++ {
+		for j := 0; j < res.K(); j++ {
+			if i == j {
+				continue
+			}
+			if math.Abs(cov.At(i, j)) > 1e-6 {
+				t.Fatalf("components %d,%d correlated: %v", i, j, cov.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFitConstantData(t *testing.T) {
+	rows := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	res, err := Fit(mat.FromRows(rows), 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 1 {
+		t.Fatalf("constant data K = %d, want 1 fallback component", res.K())
+	}
+	if res.Variances[0] != 0 {
+		t.Fatalf("constant data variance = %v", res.Variances[0])
+	}
+	if res.MeanComponentVariance() != 0 {
+		t.Fatal("constant data MeanComponentVariance != 0")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	x := mat.FromRows([][]float64{{1, 2}})
+	if _, err := Fit(x, 0); err == nil {
+		t.Fatal("retain=0 accepted")
+	}
+	if _, err := Fit(x, 1.5); err == nil {
+		t.Fatal("retain>1 accepted")
+	}
+	if _, err := Fit(mat.New(0, 0), 0.98); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	rows := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	res, err := Fit(mat.FromRows(rows), 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projecting the training data must match Transformed.
+	p, err := res.Project(mat.FromRows(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(res.Transformed, 1e-9) {
+		t.Fatal("Project(train) != Transformed")
+	}
+	if _, err := res.Project(mat.New(1, 5)); err == nil {
+		t.Fatal("feature count mismatch accepted")
+	}
+}
+
+func TestMeanComponentVariance(t *testing.T) {
+	src := rng.New(4)
+	rows := make([][]float64, 50)
+	for i := range rows {
+		rows[i] = []float64{src.Norm(0, 2), src.Norm(0, 1)}
+	}
+	res, err := Fit(mat.FromRows(rows), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, v := range res.Variances {
+		want += v
+	}
+	want /= float64(len(res.Variances))
+	if math.Abs(res.MeanComponentVariance()-want) > 1e-12 {
+		t.Fatal("MeanComponentVariance mismatch")
+	}
+}
+
+func TestTotalVariancePreservedAtFullRetention(t *testing.T) {
+	// With retain=1.0, the sum of component variances equals the sum of
+	// feature variances (trace preservation).
+	src := rng.New(5)
+	rows := make([][]float64, 60)
+	for i := range rows {
+		rows[i] = []float64{src.Float64() * 3, src.Float64(), src.Float64() * 0.5, src.Norm(1, 2)}
+	}
+	x := mat.FromRows(rows)
+	res, err := Fit(x, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	featVar := 0.0
+	for j := 0; j < x.Cols(); j++ {
+		featVar += stat.Variance(x.Col(j))
+	}
+	compVar := 0.0
+	for _, v := range res.Variances {
+		compVar += v
+	}
+	if math.Abs(featVar-compVar) > 1e-6*(1+featVar) {
+		t.Fatalf("trace not preserved: features %v vs components %v", featVar, compVar)
+	}
+}
+
+func TestSpectrumInvariantUnderFeaturePermutation(t *testing.T) {
+	// Permuting feature columns permutes the covariance rows/cols by the
+	// same orthogonal transform: the eigenvalue spectrum (and hence the
+	// CoverageScore) must not change.
+	src := rng.New(7)
+	rows := make([][]float64, 40)
+	for i := range rows {
+		a := src.Norm(0, 2)
+		rows[i] = []float64{a, a + src.Norm(0, 1), src.Float64() * 3, src.Norm(1, 0.5)}
+	}
+	x := mat.FromRows(rows)
+	perm := []int{2, 0, 3, 1}
+	xp := x.SelectCols(perm)
+
+	r1, err := Fit(x, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Fit(xp, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.K() != r2.K() {
+		t.Fatalf("component counts differ: %d vs %d", r1.K(), r2.K())
+	}
+	for i := range r1.Variances {
+		if math.Abs(r1.Variances[i]-r2.Variances[i]) > 1e-8*(1+r1.Variances[i]) {
+			t.Fatalf("eigenvalue %d changed under permutation: %v vs %v",
+				i, r1.Variances[i], r2.Variances[i])
+		}
+	}
+	if math.Abs(r1.MeanComponentVariance()-r2.MeanComponentVariance()) > 1e-9 {
+		t.Fatal("coverage aggregation not permutation invariant")
+	}
+}
+
+func BenchmarkFit43x14(b *testing.B) {
+	src := rng.New(1)
+	rows := make([][]float64, 43)
+	for i := range rows {
+		row := make([]float64, 14)
+		for j := range row {
+			row[j] = src.Float64()
+		}
+		rows[i] = row
+	}
+	x := mat.FromRows(rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(x, 0.98); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

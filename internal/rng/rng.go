@@ -1,0 +1,230 @@
+// Package rng provides deterministic pseudo-random number generation for
+// reproducible workload simulation.
+//
+// The generator is xoshiro256** seeded via SplitMix64, following the
+// reference implementations by Blackman and Vigna. Two properties matter
+// for Perspector:
+//
+//   - Determinism: a simulation seeded with the same value produces the
+//     same counter matrices on every run and platform.
+//   - Stream splitting: per-workload generators are derived from a suite
+//     seed with Split, so adding or reordering workloads never perturbs
+//     the random streams of existing ones.
+package rng
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used both to seed xoshiro256** and to derive child seeds.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic xoshiro256** generator.
+// The zero value is not valid; use New.
+type Source struct {
+	s [4]uint64
+	// gauss caches the second deviate of the Box-Muller pair.
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a Source seeded from seed via SplitMix64.
+func New(seed uint64) *Source {
+	var sm = seed
+	var s Source
+	for i := range s.s {
+		s.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start in the all-zero state; SplitMix64 of any
+	// seed cannot produce four zero outputs, but guard regardless.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Split derives an independent child generator. The child stream is a
+// deterministic function of the parent's current state, and advancing the
+// parent by one Uint64 afterwards keeps sibling children independent.
+func (s *Source) Split() *Source {
+	return New(s.Uint64())
+}
+
+// Float64 returns a uniform deviate in [0,1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0,n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	x := s.Uint64()
+	hi, lo := mul128(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = s.Uint64()
+			hi, lo = mul128(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	m := t & mask
+	c = t >> 32
+	t = aLo*bHi + m
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + (t >> 32)
+	return hi, lo
+}
+
+// Range returns a uniform deviate in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Norm returns a normal deviate with the given mean and standard deviation,
+// using the Box-Muller transform.
+func (s *Source) Norm(mean, stddev float64) float64 {
+	if s.hasGauss {
+		s.hasGauss = false
+		return mean + stddev*s.gauss
+	}
+	var u, v, r float64
+	for {
+		u = 2*s.Float64() - 1
+		v = 2*s.Float64() - 1
+		r = u*u + v*v
+		if r > 0 && r < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(r) / r)
+	s.gauss = v * f
+	s.hasGauss = true
+	return mean + stddev*u*f
+}
+
+// Exp returns an exponential deviate with the given rate parameter.
+func (s *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	u := s.Float64()
+	// Guard against log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1-u) / rate
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a random permutation of [0,n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomly permutes the first n elements using the provided swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(rank+1)^alpha. It is used to model skewed (graph-like) memory reuse.
+// The zero value is not valid; use NewZipf.
+type Zipf struct {
+	src *Source
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent alpha >= 0.
+// alpha = 0 degenerates to the uniform distribution.
+func NewZipf(src *Source, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // avoid round-off at the tail
+	return &Zipf{src: src, cdf: cdf}
+}
+
+// Next returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.src.Float64()
+	// Binary search for the first CDF entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ChildSeed deterministically derives the i-th child seed from a parent
+// seed. It is a pure function: it does not consume parent stream state, so
+// workload k always receives the same seed regardless of suite composition.
+func ChildSeed(parent uint64, i int) uint64 {
+	state := parent ^ (0xa0761d6478bd642f * uint64(i+1))
+	return splitMix64(&state)
+}

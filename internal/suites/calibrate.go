@@ -1,0 +1,75 @@
+package suites
+
+import (
+	"fmt"
+
+	"perspector/internal/perf"
+)
+
+// Calibrate rescales each workload's instruction budget so that every
+// workload consumes approximately targetCycles CPU cycles — the simulator
+// analogue of the paper's §IV methodology: "we ensure that the execution
+// times of all the workloads are roughly the same by tweaking the input
+// values".
+//
+// Each workload is probed once at the cfg budget to estimate its CPI;
+// the returned suite carries Instructions = targetCycles / CPI, clamped
+// to [minInstr, maxInstr]. The probe is deterministic, so calibration is
+// reproducible.
+func Calibrate(s Suite, cfg Config, targetCycles, minInstr, maxInstr uint64) (Suite, error) {
+	if targetCycles == 0 {
+		return Suite{}, fmt.Errorf("suites: Calibrate with zero target cycles")
+	}
+	if minInstr == 0 || maxInstr < minInstr {
+		return Suite{}, fmt.Errorf("suites: Calibrate bounds [%d, %d] invalid", minInstr, maxInstr)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Suite{}, err
+	}
+	if len(s.Specs) == 0 {
+		return Suite{}, fmt.Errorf("suites: Calibrate on empty suite %q", s.Name)
+	}
+
+	out := Suite{Name: s.Name, Description: s.Description}
+	out.Specs = append(out.Specs, s.Specs...)
+
+	// Probe with sampling disabled: only the cycle total matters. CPI is
+	// budget-dependent (cold-start faults dominate short runs), so the
+	// estimate is refined over a few rounds: each round re-probes at the
+	// previous round's budget, converging on the fixed point
+	// cycles(budget) ≈ targetCycles.
+	const rounds = 3
+	probeCfg := cfg
+	probeCfg.Samples = 1
+	for i := range out.Specs {
+		for r := 0; r < rounds; r++ {
+			meas, err := runOne(out.Specs[i], probeCfg)
+			if err != nil {
+				return Suite{}, fmt.Errorf("suites: Calibrate probe %q: %w", out.Specs[i].Name, err)
+			}
+			cycles := meas.Totals.Get(perf.CPUCycles)
+			if cycles == 0 {
+				return Suite{}, fmt.Errorf("suites: Calibrate probe %q recorded zero cycles", out.Specs[i].Name)
+			}
+			cpi := float64(cycles) / float64(out.Specs[i].Instructions)
+			budget := uint64(float64(targetCycles) / cpi)
+			if budget < minInstr {
+				budget = minInstr
+			}
+			if budget > maxInstr {
+				budget = maxInstr
+			}
+			prev := out.Specs[i].Instructions
+			out.Specs[i].Instructions = budget
+			// Converged within 5 %: stop early.
+			diff := int64(budget) - int64(prev)
+			if diff < 0 {
+				diff = -diff
+			}
+			if uint64(diff)*20 <= prev {
+				break
+			}
+		}
+	}
+	return out, nil
+}

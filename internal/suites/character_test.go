@@ -1,0 +1,216 @@
+package suites
+
+// Per-suite behavioural tests: the modelled workloads must show the
+// microarchitectural character their real counterparts are known for.
+// These tests pin the *reasons* behind the Fig. 3 orderings, so a
+// regression in a suite model fails here with a named workload instead of
+// as an opaque score shift.
+
+import (
+	"strings"
+	"testing"
+
+	"perspector/internal/perf"
+)
+
+// measure returns the full-budget measurement of one suite, cached per
+// test run via t.Cleanup-free package-level memoization (tests only).
+var characterCache = map[string]*perf.SuiteMeasurement{}
+
+func measureSuite(t *testing.T, name string) *perf.SuiteMeasurement {
+	t.Helper()
+	if sm, ok := characterCache[name]; ok {
+		return sm
+	}
+	cfg := DefaultConfig()
+	cfg.Instructions = 120_000
+	cfg.Samples = 30
+	s, err := ByName(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	characterCache[name] = sm
+	return sm
+}
+
+// rate returns counter c per instruction-proxy (cpu-cycles normalizes
+// differently per workload, so use the raw total: budgets are equal).
+func findWorkload(t *testing.T, sm *perf.SuiteMeasurement, name string) *perf.Measurement {
+	t.Helper()
+	for i := range sm.Workloads {
+		if sm.Workloads[i].Workload == name {
+			return &sm.Workloads[i]
+		}
+	}
+	t.Fatalf("workload %q not in %s", name, sm.Suite)
+	return nil
+}
+
+func TestSPEC17Character(t *testing.T) {
+	sm := measureSuite(t, "spec17")
+	mcf := findWorkload(t, sm, "spec17.605.mcf_s")
+	exchange := findWorkload(t, sm, "spec17.548.exchange2_r")
+	lbm := findWorkload(t, sm, "spec17.619.lbm_s")
+	leela := findWorkload(t, sm, "spec17.541.leela_r")
+
+	// mcf: pointer chasing over a huge graph — worst TLB walker in the suite.
+	maxWalk := uint64(0)
+	var maxWalkName string
+	for _, m := range sm.Workloads {
+		if w := m.Totals.Get(perf.DTLBWalkPending); w > maxWalk {
+			maxWalk = w
+			maxWalkName = m.Workload
+		}
+	}
+	if !strings.Contains(maxWalkName, "mcf") {
+		t.Errorf("worst TLB walker is %s, want an mcf variant", maxWalkName)
+	}
+	// exchange2: tiny footprint — near-minimal LLC misses.
+	if exchange.Totals.Get(perf.LLCLoadMisses) > mcf.Totals.Get(perf.LLCLoadMisses)/10 {
+		t.Errorf("exchange2 LLC misses %d not an order below mcf %d",
+			exchange.Totals.Get(perf.LLCLoadMisses), mcf.Totals.Get(perf.LLCLoadMisses))
+	}
+	// lbm: streaming — among the heaviest LLC load traffic.
+	if lbm.Totals.Get(perf.LLCLoads) < exchange.Totals.Get(perf.LLCLoads)*5 {
+		t.Errorf("lbm LLC loads %d not well above exchange2 %d",
+			lbm.Totals.Get(perf.LLCLoads), exchange.Totals.Get(perf.LLCLoads))
+	}
+	// leela: branchy game tree — worse branch miss *rate* than lbm.
+	leelaRate := float64(leela.Totals.Get(perf.BranchMisses)) / float64(leela.Totals.Get(perf.BranchInstructions))
+	lbmRate := float64(lbm.Totals.Get(perf.BranchMisses)) / float64(lbm.Totals.Get(perf.BranchInstructions))
+	if leelaRate <= 2*lbmRate {
+		t.Errorf("leela branch miss rate %.3f not well above lbm %.3f", leelaRate, lbmRate)
+	}
+}
+
+func TestLMbenchCharacter(t *testing.T) {
+	sm := measureSuite(t, "lmbench")
+	branch := findWorkload(t, sm, "lmbench.lat_branch")
+	bwRd := findWorkload(t, sm, "lmbench.bw_mem-rd")
+	sysNull := findWorkload(t, sm, "lmbench.lat_syscall-null")
+	pagefault := findWorkload(t, sm, "lmbench.lat_pagefault")
+
+	// lat_branch owns the worst branch miss rate.
+	worstRate, worstName := 0.0, ""
+	for _, m := range sm.Workloads {
+		if b := m.Totals.Get(perf.BranchInstructions); b > 0 {
+			r := float64(m.Totals.Get(perf.BranchMisses)) / float64(b)
+			if r > worstRate {
+				worstRate = r
+				worstName = m.Workload
+			}
+		}
+	}
+	if worstName != "lmbench.lat_branch" {
+		t.Errorf("worst branch miss rate is %s, want lat_branch", worstName)
+	}
+	_ = branch
+	// bw_mem-rd owns the most LLC load traffic.
+	for _, m := range sm.Workloads {
+		if m.Workload == bwRd.Workload {
+			continue
+		}
+		if m.Totals.Get(perf.LLCLoads) > bwRd.Totals.Get(perf.LLCLoads) {
+			t.Errorf("%s LLC loads %d above bw_mem-rd %d",
+				m.Workload, m.Totals.Get(perf.LLCLoads), bwRd.Totals.Get(perf.LLCLoads))
+		}
+	}
+	// lat_pagefault owns the most page faults; the null syscall micro is
+	// near the bottom.
+	if pagefault.Totals.Get(perf.PageFaults) < 20*sysNull.Totals.Get(perf.PageFaults) {
+		t.Errorf("lat_pagefault faults %d not far above lat_syscall-null %d",
+			pagefault.Totals.Get(perf.PageFaults), sysNull.Totals.Get(perf.PageFaults))
+	}
+	// Syscall micros burn more cycles per instruction than even the
+	// DRAM-bound bandwidth micro (kernel entry ≈ 400 cycles vs ≈ 200 for
+	// a memory miss at half the density).
+	if sysNull.Totals.Get(perf.CPUCycles) < 13*bwRd.Totals.Get(perf.CPUCycles)/10 {
+		t.Errorf("syscall micro cycles %d not clearly above bandwidth micro %d",
+			sysNull.Totals.Get(perf.CPUCycles), bwRd.Totals.Get(perf.CPUCycles))
+	}
+}
+
+func TestSGXGaugeCharacter(t *testing.T) {
+	sm := measureSuite(t, "sgxgauge")
+	btree := findWorkload(t, sm, "sgxgauge.btree")
+	openssl := findWorkload(t, sm, "sgxgauge.openssl")
+
+	// btree pointer-chases a 64 MiB index: far more TLB misses than the
+	// crypto kernel.
+	if btree.Totals.Get(perf.DTLBLoadMisses) < 5*openssl.Totals.Get(perf.DTLBLoadMisses) {
+		t.Errorf("btree TLB misses %d not well above openssl %d",
+			btree.Totals.Get(perf.DTLBLoadMisses), openssl.Totals.Get(perf.DTLBLoadMisses))
+	}
+}
+
+func TestPARSECCharacter(t *testing.T) {
+	sm := measureSuite(t, "parsec")
+	canneal := findWorkload(t, sm, "parsec.canneal")
+	swaptions := findWorkload(t, sm, "parsec.swaptions")
+
+	// canneal (pointer chase over a 64 MiB netlist) stresses the TLB far
+	// more than the compute-bound swaptions.
+	if canneal.Totals.Get(perf.DTLBWalkPending) < 5*swaptions.Totals.Get(perf.DTLBWalkPending) {
+		t.Errorf("canneal walk cycles %d not well above swaptions %d",
+			canneal.Totals.Get(perf.DTLBWalkPending), swaptions.Totals.Get(perf.DTLBWalkPending))
+	}
+	// And spends far more of its time stalled on memory (2× bar: swaptions
+	// has sequential setup/aggregate phases that stall too).
+	if canneal.Totals.Get(perf.StallsMemAny) < 2*swaptions.Totals.Get(perf.StallsMemAny) {
+		t.Errorf("canneal stalls %d not well above swaptions %d",
+			canneal.Totals.Get(perf.StallsMemAny), swaptions.Totals.Get(perf.StallsMemAny))
+	}
+}
+
+func TestLigraCharacterFamilies(t *testing.T) {
+	sm := measureSuite(t, "ligra")
+	// Workloads within a kernel family must be much closer to each other
+	// than to other families: compare BFS↔BC (same family) against
+	// BFS↔PageRank (different family) on the full counter vector.
+	vec := func(name string) []float64 {
+		return findWorkload(t, sm, name).Totals.Vector(perf.AllCounters())
+	}
+	norm := func(a, b []float64) float64 {
+		d := 0.0
+		for i := range a {
+			// Relative difference per counter avoids magnitude dominance.
+			den := a[i] + b[i]
+			if den == 0 {
+				continue
+			}
+			diff := (a[i] - b[i]) / den
+			d += diff * diff
+		}
+		return d
+	}
+	bfs, bc, pr := vec("ligra.BFS"), vec("ligra.BC"), vec("ligra.PageRank")
+	within := norm(bfs, bc)
+	across := norm(bfs, pr)
+	if within*2 >= across {
+		t.Errorf("family cohesion lost: BFS↔BC %v not well below BFS↔PageRank %v", within, across)
+	}
+}
+
+func TestNbenchCharacter(t *testing.T) {
+	sm := measureSuite(t, "nbench")
+	// All Nbench kernels are cache-resident: every workload's LLC misses
+	// stay tiny relative to its dTLB loads (memory activity proxy).
+	for _, m := range sm.Workloads {
+		loads := m.Totals.Get(perf.DTLBLoads)
+		misses := m.Totals.Get(perf.LLCLoadMisses)
+		if loads == 0 {
+			continue
+		}
+		// 0.12 bar: at the short test budget the cold fill of the larger
+		// kernels (neural-net 192 KiB, lu 256 KiB) is still a visible
+		// fraction of their loads.
+		if float64(misses)/float64(loads) > 0.12 {
+			t.Errorf("%s LLC miss per load %.3f too high for a cache-resident kernel",
+				m.Workload, float64(misses)/float64(loads))
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package suites
+
+import (
+	"fmt"
+
+	"perspector/internal/workload"
+)
+
+// ligraFamily groups Ligra algorithms that share a kernel style. Members
+// of a family differ only by a tiny jitter; families differ substantially.
+// Combined with the identical load/decode front-end, this reproduces the
+// paper's observation that Ligra's workloads cluster strongly (§IV-A):
+// "as a large portion of the code base is shared, the workloads are
+// expected to behave similarly".
+type ligraFamily struct {
+	name    string
+	members []string
+	kernel  func(jitter float64) workload.Phase
+}
+
+// Ligra models the Ligra graph-processing framework (Shun & Blelloch,
+// PPoPP'13). Every workload shares the same two-part structure: a common
+// graph load/decode front-end followed by an algorithm kernel built on
+// the shared edgeMap/vertexMap primitives. Kernels fall into a handful of
+// families (frontier traversal, iterative ranking, neighborhood counting,
+// structure extraction), so the suite's counter vectors form a few tight
+// clusters — the worst (highest) ClusterScore of the six suites.
+func Ligra(cfg Config) Suite {
+	const graphBytes = 48 * mib
+	families := []ligraFamily{
+		{
+			name:    "traversal",
+			members: []string{"BFS", "BC", "BFSCC", "BFS-Bitvector", "Radii"},
+			kernel: func(j float64) workload.Phase {
+				return workload.Phase{
+					Name: "frontier", Weight: 0.62,
+					LoadFrac: 0.46 + j, StoreFrac: 0.08, BranchFrac: 0.18,
+					LoadPattern:      workload.Zipf{WorkingSet: graphBytes, Alpha: 0.6},
+					StorePattern:     workload.Random{WorkingSet: graphBytes / 8},
+					BranchRegularity: 0.4, BranchTakenProb: 0.55, BranchSites: 20,
+				}
+			},
+		},
+		{
+			name:    "iterative",
+			members: []string{"PageRank", "PageRankDelta", "BellmanFord", "CF", "GraphColoring"},
+			kernel: func(j float64) workload.Phase {
+				return workload.Phase{
+					Name: "iterate", Weight: 0.62,
+					LoadFrac: 0.44 + j, StoreFrac: 0.14, BranchFrac: 0.1,
+					LoadPattern:      workload.Zipf{WorkingSet: graphBytes, Alpha: 0.95},
+					StorePattern:     workload.Sequential{WorkingSet: graphBytes / 6},
+					BranchRegularity: 0.75, BranchTakenProb: 0.7, BranchSites: 10,
+				}
+			},
+		},
+		{
+			name:    "counting",
+			members: []string{"Triangle", "KCore", "DensestSubgraph", "SetCover", "LocalCluster"},
+			kernel: func(j float64) workload.Phase {
+				return workload.Phase{
+					Name: "count", Weight: 0.62,
+					LoadFrac: 0.5 + j, StoreFrac: 0.05, BranchFrac: 0.14,
+					LoadPattern:      workload.Random{WorkingSet: graphBytes},
+					BranchRegularity: 0.55, BranchTakenProb: 0.6, BranchSites: 16,
+				}
+			},
+		},
+		{
+			name:    "structure",
+			members: []string{"Components", "MIS", "MaximalMatching", "SpanningForest", "Diameter"},
+			kernel: func(j float64) workload.Phase {
+				return workload.Phase{
+					Name: "contract", Weight: 0.62,
+					LoadFrac: 0.38 + j, StoreFrac: 0.18, BranchFrac: 0.14,
+					LoadPattern:      workload.HotCold{HotSet: 2 * mib, ColdSet: graphBytes, HotFrac: 0.55},
+					BranchRegularity: 0.6, BranchTakenProb: 0.6, BranchSites: 14,
+				}
+			},
+		},
+	}
+
+	s := Suite{
+		Name: "ligra",
+		Description: "Lightweight graph processing framework; all workloads " +
+			"share the load/decode front-end and edgeMap/vertexMap kernels.",
+	}
+	idx := 0
+	for _, fam := range families {
+		for mi, algo := range fam.members {
+			// Within-family jitter is tiny; the framework and family
+			// parameters dominate.
+			jitter := float64(mi) * 0.004
+			spec := workload.Spec{
+				Name:         fmt.Sprintf("ligra.%s", algo),
+				Instructions: cfg.Instructions,
+				Seed:         seedFor(cfg, "ligra", idx),
+				Phases: []workload.Phase{
+					{
+						// Shared framework: stream the graph file, build CSR.
+						Name: "load-decode", Weight: 0.38,
+						LoadFrac: 0.34, StoreFrac: 0.18, BranchFrac: 0.1,
+						LoadPattern:      workload.Sequential{WorkingSet: graphBytes},
+						StorePattern:     workload.Sequential{WorkingSet: graphBytes / 2},
+						BranchRegularity: 0.9, BranchTakenProb: 0.7, BranchSites: 12,
+					},
+					fam.kernel(jitter),
+				},
+			}
+			s.Specs = append(s.Specs, spec)
+			idx++
+		}
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package suites
+
+import "perspector/internal/workload"
+
+// LMbench models the lmbench microbenchmark suite (McVoy & Staelin,
+// ATC'96). Each workload isolates one subsystem — syscall latency, signal
+// handling, process creation, memory read latency at each hierarchy level,
+// memory bandwidth, page-fault cost — and drives it to an extreme. The
+// counter vectors therefore sit at the corners of the parameter space,
+// which is why the paper measures the highest CoverageScore for LMbench
+// with all events (§IV-A) and a collapse of that coverage when only LLC
+// (−66 %) or TLB (−88 %) events are considered (§IV-B): most of the
+// variance lives in the OS-centric counters.
+func LMbench(cfg Config) Suite {
+	s := Suite{
+		Name: "lmbench",
+		Description: "Microbenchmarks measuring latency and bandwidth of " +
+			"individual OS and memory subsystems.",
+	}
+	add := func(name string, phases ...workload.Phase) {
+		s.Specs = append(s.Specs, workload.Spec{
+			Name:         "lmbench." + name,
+			Instructions: cfg.Instructions,
+			Seed:         seedFor(cfg, "lmbench", len(s.Specs)),
+			Phases:       phases,
+		})
+	}
+
+	// --- Syscall/OS latency micros: almost no memory traffic. ---
+	add("lat_syscall-null", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.45, LoadFrac: 0.12, StoreFrac: 0.04, BranchFrac: 0.1,
+		LoadPattern:      workload.Sequential{WorkingSet: 32 * kib},
+		BranchRegularity: 0.98, BranchTakenProb: 0.9, BranchSites: 2,
+	})
+	add("lat_syscall-read", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.4, LoadFrac: 0.1, BranchFrac: 0.1,
+		LoadPattern:      workload.Sequential{WorkingSet: 64 * kib},
+		BranchRegularity: 0.98, BranchTakenProb: 0.9, BranchSites: 2,
+	})
+	add("lat_syscall-write", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.4, StoreFrac: 0.1, BranchFrac: 0.1,
+		StorePattern:     workload.Sequential{WorkingSet: 64 * kib},
+		BranchRegularity: 0.98, BranchTakenProb: 0.9, BranchSites: 2,
+	})
+	add("lat_syscall-stat", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.35, LoadFrac: 0.15, BranchFrac: 0.12,
+		LoadPattern:      workload.Random{WorkingSet: 32 * kib},
+		BranchRegularity: 0.9, BranchTakenProb: 0.7, BranchSites: 6,
+	})
+	add("lat_syscall-open", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.35, LoadFrac: 0.18, BranchFrac: 0.15,
+		LoadPattern:      workload.Random{WorkingSet: 128 * kib},
+		BranchRegularity: 0.85, BranchTakenProb: 0.65, BranchSites: 10,
+	})
+	add("lat_sig-install", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.5, LoadFrac: 0.1, StoreFrac: 0.03, BranchFrac: 0.08,
+		LoadPattern:      workload.Sequential{WorkingSet: 32 * kib},
+		BranchRegularity: 0.98, BranchTakenProb: 0.9, BranchSites: 2,
+	})
+	add("lat_sig-catch", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.42, LoadFrac: 0.08, BranchFrac: 0.1,
+		LoadPattern:      workload.Sequential{WorkingSet: 16 * kib},
+		BranchRegularity: 0.95, BranchTakenProb: 0.85, BranchSites: 4,
+	})
+	// Process creation: syscalls that fault heavily (fresh address spaces).
+	add("lat_proc-fork", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.5, StoreFrac: 0.1, BranchFrac: 0.1,
+		StorePattern:     workload.Sequential{WorkingSet: 8 * mib, Stride: 4096},
+		SyscallFaultProb: 0.95,
+		BranchRegularity: 0.9, BranchTakenProb: 0.8, BranchSites: 4,
+	})
+	add("lat_proc-exec", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.5, LoadFrac: 0.12, BranchFrac: 0.08,
+		LoadPattern:      workload.Sequential{WorkingSet: 4 * mib},
+		SyscallFaultProb: 0.95,
+		BranchRegularity: 0.9, BranchTakenProb: 0.8, BranchSites: 4,
+	})
+	// Page-fault latency: mmap/unmap cycles that fault on nearly every
+	// syscall. The footprint itself is small — the cost is in the OS.
+	add("lat_pagefault", workload.Phase{
+		Name: "loop", Weight: 1, SyscallFrac: 0.5, LoadFrac: 0.1, BranchFrac: 0.05,
+		LoadPattern:      workload.Sequential{WorkingSet: 1 * mib},
+		SyscallFaultProb: 1.0,
+		BranchRegularity: 0.98, BranchTakenProb: 0.95, BranchSites: 2,
+	})
+
+	// --- Memory read latency at each hierarchy level (lat_mem_rd). ---
+	for _, lvl := range []struct {
+		name string
+		ws   uint64
+	}{
+		{"lat_mem_rd-16k", 16 * kib},   // L1-resident
+		{"lat_mem_rd-64k", 64 * kib},   // L2-resident, TLB-friendly
+		{"lat_mem_rd-128k", 128 * kib}, // L2-resident
+		{"lat_mem_rd-256k", 256 * kib}, // L3-resident, fits L1 TLB reach
+		{"lat_mem_rd-4m", 4 * mib},     // L3-resident, TLB-hostile
+	} {
+		add(lvl.name, workload.Phase{
+			Name: "chase", Weight: 1, LoadFrac: 0.45, BranchFrac: 0.05,
+			LoadPattern:      workload.PointerChase{WorkingSet: lvl.ws},
+			BranchRegularity: 0.98, BranchTakenProb: 0.95, BranchSites: 2,
+		})
+	}
+
+	// --- Memory bandwidth (bw_mem): sequential floods. ---
+	add("bw_mem-rd", workload.Phase{
+		Name: "sweep", Weight: 1, LoadFrac: 0.5, BranchFrac: 0.04,
+		LoadPattern:      workload.Sequential{WorkingSet: 128 * mib},
+		BranchRegularity: 0.99, BranchTakenProb: 0.97, BranchSites: 1,
+	})
+	add("bw_mem-wr", workload.Phase{
+		Name: "sweep", Weight: 1, StoreFrac: 0.45, LoadFrac: 0.05, BranchFrac: 0.04,
+		LoadPattern:      workload.Sequential{WorkingSet: 64 * kib},
+		StorePattern:     workload.Sequential{WorkingSet: 128 * mib},
+		BranchRegularity: 0.99, BranchTakenProb: 0.97, BranchSites: 1,
+	})
+	add("bw_mem-cp", workload.Phase{
+		Name: "sweep", Weight: 1, LoadFrac: 0.35, StoreFrac: 0.35, BranchFrac: 0.04,
+		LoadPattern:      workload.Sequential{WorkingSet: 64 * mib},
+		StorePattern:     workload.Sequential{WorkingSet: 64 * mib},
+		BranchRegularity: 0.99, BranchTakenProb: 0.97, BranchSites: 1,
+	})
+	// Cached file I/O: medium buffer re-read plus syscalls.
+	add("bw_file_rd", workload.Phase{
+		Name: "read", Weight: 1, LoadFrac: 0.5, SyscallFrac: 0.08, BranchFrac: 0.06,
+		LoadPattern:      workload.Sequential{WorkingSet: 1 * mib},
+		BranchRegularity: 0.95, BranchTakenProb: 0.9, BranchSites: 3,
+	})
+	add("bw_pipe", workload.Phase{
+		Name: "pipe", Weight: 1, LoadFrac: 0.25, StoreFrac: 0.25, SyscallFrac: 0.15, BranchFrac: 0.06,
+		LoadPattern:      workload.Sequential{WorkingSet: 256 * kib},
+		StorePattern:     workload.Sequential{WorkingSet: 256 * kib},
+		BranchRegularity: 0.95, BranchTakenProb: 0.9, BranchSites: 3,
+	})
+	add("bw_unix", workload.Phase{
+		Name: "sock", Weight: 1, LoadFrac: 0.2, StoreFrac: 0.2, SyscallFrac: 0.2, BranchFrac: 0.08,
+		LoadPattern:      workload.Sequential{WorkingSet: 128 * kib},
+		StorePattern:     workload.Sequential{WorkingSet: 128 * kib},
+		BranchRegularity: 0.9, BranchTakenProb: 0.85, BranchSites: 4,
+	})
+	// Context switching: TLB/cache pollution plus syscalls.
+	add("lat_ctx-2p", workload.Phase{
+		Name: "switch", Weight: 1, LoadFrac: 0.3, SyscallFrac: 0.18, BranchFrac: 0.1,
+		LoadPattern:      workload.Random{WorkingSet: 2 * mib},
+		BranchRegularity: 0.7, BranchTakenProb: 0.6, BranchSites: 16,
+	})
+	add("lat_ctx-16p", workload.Phase{
+		Name: "switch", Weight: 1, LoadFrac: 0.35, SyscallFrac: 0.2, BranchFrac: 0.1,
+		LoadPattern:      workload.Random{WorkingSet: 3 * mib},
+		BranchRegularity: 0.65, BranchTakenProb: 0.55, BranchSites: 24,
+	})
+	// ALU micros: integer/float op latency, no memory at all.
+	add("lat_ops-int", workload.Phase{
+		Name: "alu", Weight: 1, LoadFrac: 0.12, StoreFrac: 0.04, BranchFrac: 0.06,
+		LoadPattern:      workload.Sequential{WorkingSet: 16 * kib},
+		BranchRegularity: 0.99, BranchTakenProb: 0.97, BranchSites: 1,
+	})
+	add("lat_ops-float", workload.Phase{
+		Name: "alu", Weight: 1, LoadFrac: 0.14, StoreFrac: 0.05, BranchFrac: 0.04,
+		LoadPattern:      workload.Streams{WorkingSet: 32 * kib, Count: 2},
+		BranchRegularity: 0.99, BranchTakenProb: 0.97, BranchSites: 1,
+	})
+	// Branch-hostile micro (lat_branch): random direction.
+	add("lat_branch", workload.Phase{
+		Name: "branch", Weight: 1, BranchFrac: 0.5, LoadFrac: 0.1, StoreFrac: 0.03,
+		LoadPattern:      workload.Sequential{WorkingSet: 16 * kib},
+		BranchRegularity: 0.02, BranchTakenProb: 0.5, BranchSites: 8,
+	})
+	return s
+}

@@ -1,0 +1,98 @@
+package suites
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"perspector/internal/perf"
+	"perspector/internal/rng"
+	"perspector/internal/uarch"
+	"perspector/internal/workload"
+)
+
+// RunMulticore executes every workload of the suite as `threads` parallel
+// process clones on a shared-L3 multicore machine (private
+// L1/L2/TLB/predictor per core). Each clone gets an independent seed and
+// a private address-space offset, so the clones are homologous processes
+// with disjoint footprints contending for the shared LLC — the rate-style
+// multiprogrammed setup (cf. SPECrate). Counter totals and series
+// aggregate across threads, like system-wide `perf stat -a`.
+//
+// This is an extension beyond the paper's single-threaded methodology;
+// use Run for the paper reproduction.
+func RunMulticore(s Suite, cfg Config, threads int) (*perf.SuiteMeasurement, error) {
+	if threads < 1 {
+		return nil, fmt.Errorf("suites: RunMulticore with %d threads", threads)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Specs) == 0 {
+		return nil, fmt.Errorf("suites: suite %q has no workloads", s.Name)
+	}
+	sm := &perf.SuiteMeasurement{
+		Suite:     s.Name,
+		Workloads: make([]perf.Measurement, len(s.Specs)),
+	}
+
+	type job struct{ idx int }
+	jobs := make(chan job)
+	errs := make(chan error, len(s.Specs))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.Specs) {
+		workers = len(s.Specs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				meas, err := runOneMulticore(s.Specs[j.idx], cfg, threads)
+				if err != nil {
+					errs <- fmt.Errorf("suites: %s/%s: %w", s.Name, s.Specs[j.idx].Name, err)
+					continue
+				}
+				sm.Workloads[j.idx] = *meas
+			}
+		}()
+	}
+	for i := range s.Specs {
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	return sm, nil
+}
+
+func runOneMulticore(spec workload.Spec, cfg Config, threads int) (*perf.Measurement, error) {
+	progs := make([]uarch.Program, threads)
+	for th := 0; th < threads; th++ {
+		threadSpec := spec
+		threadSpec.Seed = rng.ChildSeed(spec.Seed, th+1)
+		threadSpec.BaseOffset = uint64(th) << 40 // disjoint address spaces
+		p, err := workload.Compile(threadSpec)
+		if err != nil {
+			return nil, err
+		}
+		progs[th] = p
+	}
+	mc := cfg.Machine
+	// Sample against the aggregate instruction count so the series length
+	// stays cfg.Samples regardless of the thread count.
+	total := spec.Instructions * uint64(threads)
+	mc.SampleInterval = total / uint64(cfg.Samples)
+	if mc.SampleInterval == 0 {
+		mc.SampleInterval = 1
+	}
+	m, err := uarch.NewMultiCore(mc, threads)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunParallel(progs, spec.Instructions)
+}

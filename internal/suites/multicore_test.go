@@ -1,0 +1,132 @@
+package suites
+
+import (
+	"testing"
+
+	"perspector/internal/perf"
+	"perspector/internal/workload"
+)
+
+func TestRunMulticoreBasics(t *testing.T) {
+	cfg := testConfig()
+	s := Nbench(cfg)
+	sm, err := RunMulticore(s, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.Workloads) != len(s.Specs) {
+		t.Fatalf("workloads = %d", len(sm.Workloads))
+	}
+	solo, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sm.Workloads {
+		// 2 threads execute ~2x the instructions of the solo run.
+		multi := sm.Workloads[i].Totals.Get(perf.DTLBLoads)
+		one := solo.Workloads[i].Totals.Get(perf.DTLBLoads)
+		if multi < one || multi > 3*one {
+			t.Fatalf("%s: 2-thread loads %d vs solo %d out of plausible range",
+				sm.Workloads[i].Workload, multi, one)
+		}
+		if sm.Workloads[i].Series.Len() < cfg.Samples-1 {
+			t.Fatalf("%s: %d samples", sm.Workloads[i].Workload, sm.Workloads[i].Series.Len())
+		}
+	}
+}
+
+func TestRunMulticoreDeterministic(t *testing.T) {
+	cfg := testConfig()
+	s := SGXGauge(cfg)
+	a, err := RunMulticore(s, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMulticore(s, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Workloads {
+		if a.Workloads[i].Totals != b.Workloads[i].Totals {
+			t.Fatalf("%s: non-deterministic multicore run", a.Workloads[i].Workload)
+		}
+	}
+}
+
+func TestRunMulticoreThreadsDiffer(t *testing.T) {
+	// Thread clones must not be lockstep-identical: with 2 threads the
+	// counter totals are not exactly 2x the solo totals for noisy
+	// counters (different seeds → different addresses → different misses).
+	cfg := testConfig()
+	cfg.Instructions = 40_000
+	s := SGXGauge(cfg)
+	solo, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := RunMulticore(s, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical := 0
+	for i := range multi.Workloads {
+		if multi.Workloads[i].Totals.Get(perf.LLCLoadMisses) ==
+			2*solo.Workloads[i].Totals.Get(perf.LLCLoadMisses) {
+			identical++
+		}
+	}
+	if identical == len(multi.Workloads) {
+		t.Fatal("all multicore runs are exactly 2x solo — thread clones are lockstep")
+	}
+}
+
+func TestRunMulticoreErrors(t *testing.T) {
+	cfg := testConfig()
+	s := Nbench(cfg)
+	if _, err := RunMulticore(s, cfg, 0); err == nil {
+		t.Fatal("0 threads accepted")
+	}
+	if _, err := RunMulticore(Suite{Name: "empty"}, cfg, 2); err == nil {
+		t.Fatal("empty suite accepted")
+	}
+	bad := cfg
+	bad.Samples = 0
+	if _, err := RunMulticore(s, bad, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunMulticoreContentionVisible(t *testing.T) {
+	// A 4 MiB re-sweep fits the 12 MiB shared L3 solo (high hit rate),
+	// but four private clones demand 16 MiB and thrash it.
+	cfg := testConfig()
+	cfg.Instructions = 500_000
+	single := Suite{Name: "contend", Specs: []workload.Spec{{
+		Name: "contend.sweep", Instructions: cfg.Instructions, Seed: 5,
+		Phases: []workload.Phase{{
+			Name: "sweep", Weight: 1, LoadFrac: 0.5,
+			LoadPattern:      workload.Sequential{WorkingSet: 4 << 20},
+			BranchRegularity: 0.95, BranchTakenProb: 0.9,
+		}},
+	}}}
+	solo, err := Run(single, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := RunMulticore(single, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := func(m *perf.Measurement) float64 {
+		loads := m.Totals.Get(perf.LLCLoads)
+		if loads == 0 {
+			return 0
+		}
+		return float64(m.Totals.Get(perf.LLCLoadMisses)) / float64(loads)
+	}
+	soloRate := rate(&solo.Workloads[0])
+	multiRate := rate(&multi.Workloads[0])
+	if multiRate <= soloRate {
+		t.Fatalf("no contention: solo LLC miss rate %.3f, 4-thread %.3f", soloRate, multiRate)
+	}
+}

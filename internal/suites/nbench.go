@@ -1,0 +1,77 @@
+package suites
+
+import "perspector/internal/workload"
+
+// Nbench models the BYTE Nbench kernels: small, steady, compute-bound
+// loops over modest working sets. They execute a single phase with a
+// stable counter profile, so their time series are flat (the Fig. 5
+// contrast with SPEC'17) and their counter vectors cluster (Fig. 4).
+func Nbench(cfg Config) Suite {
+	s := Suite{
+		Name: "nbench",
+		Description: "Steady compute kernels testing integer, floating " +
+			"point, and memory operation speed.",
+	}
+	add := func(name string, ph workload.Phase) {
+		ph.Name = "kernel"
+		ph.Weight = 1
+		s.Specs = append(s.Specs, workload.Spec{
+			Name:         "nbench." + name,
+			Instructions: cfg.Instructions,
+			Seed:         seedFor(cfg, "nbench", len(s.Specs)),
+			Phases:       []workload.Phase{ph},
+		})
+	}
+
+	add("numeric-sort", workload.Phase{
+		LoadFrac: 0.3, StoreFrac: 0.15, BranchFrac: 0.18,
+		LoadPattern:      workload.Random{WorkingSet: 64 * kib},
+		BranchRegularity: 0.6, BranchTakenProb: 0.5, BranchSites: 8,
+	})
+	add("string-sort", workload.Phase{
+		LoadFrac: 0.32, StoreFrac: 0.14, BranchFrac: 0.2,
+		LoadPattern:      workload.Random{WorkingSet: 96 * kib},
+		BranchRegularity: 0.55, BranchTakenProb: 0.5, BranchSites: 10,
+	})
+	add("bitfield", workload.Phase{
+		LoadFrac: 0.22, StoreFrac: 0.2, BranchFrac: 0.12,
+		LoadPattern:      workload.Sequential{WorkingSet: 32 * kib},
+		BranchRegularity: 0.92, BranchTakenProb: 0.8, BranchSites: 4,
+	})
+	add("fp-emulation", workload.Phase{
+		LoadFrac: 0.15, StoreFrac: 0.08, BranchFrac: 0.22,
+		LoadPattern:      workload.Sequential{WorkingSet: 16 * kib},
+		BranchRegularity: 0.75, BranchTakenProb: 0.6, BranchSites: 14,
+	})
+	add("fourier", workload.Phase{
+		LoadFrac: 0.2, StoreFrac: 0.1, BranchFrac: 0.08,
+		LoadPattern:      workload.Streams{WorkingSet: 24 * kib, Count: 2},
+		BranchRegularity: 0.95, BranchTakenProb: 0.9, BranchSites: 3,
+	})
+	add("assignment", workload.Phase{
+		LoadFrac: 0.35, StoreFrac: 0.1, BranchFrac: 0.16,
+		LoadPattern:      workload.Random{WorkingSet: 128 * kib},
+		BranchRegularity: 0.65, BranchTakenProb: 0.55, BranchSites: 8,
+	})
+	add("idea", workload.Phase{
+		LoadFrac: 0.25, StoreFrac: 0.12, BranchFrac: 0.06,
+		LoadPattern:      workload.Sequential{WorkingSet: 8 * kib},
+		BranchRegularity: 0.97, BranchTakenProb: 0.95, BranchSites: 2,
+	})
+	add("huffman", workload.Phase{
+		LoadFrac: 0.3, StoreFrac: 0.12, BranchFrac: 0.24,
+		LoadPattern:      workload.HotCold{HotSet: 4 * kib, ColdSet: 64 * kib, HotFrac: 0.7},
+		BranchRegularity: 0.5, BranchTakenProb: 0.45, BranchSites: 16,
+	})
+	add("neural-net", workload.Phase{
+		LoadFrac: 0.34, StoreFrac: 0.12, BranchFrac: 0.06,
+		LoadPattern:      workload.Streams{WorkingSet: 192 * kib, Count: 3},
+		BranchRegularity: 0.96, BranchTakenProb: 0.93, BranchSites: 2,
+	})
+	add("lu-decomposition", workload.Phase{
+		LoadFrac: 0.36, StoreFrac: 0.14, BranchFrac: 0.07,
+		LoadPattern:      workload.Streams{WorkingSet: 256 * kib, Count: 2},
+		BranchRegularity: 0.95, BranchTakenProb: 0.92, BranchSites: 3,
+	})
+	return s
+}

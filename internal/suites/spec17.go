@@ -1,0 +1,359 @@
+package suites
+
+import "perspector/internal/workload"
+
+// spec17Row captures the modelled character of one SPEC CPU2017 benchmark.
+// ws is the dominant working set; the archetype selects the phase
+// structure. Speed (_s) variants reuse the rate archetype with a scaled
+// working set, mirroring the larger inputs of the speed suite.
+type spec17Row struct {
+	name      string
+	archetype func(ws uint64) []workload.Phase
+	ws        uint64
+}
+
+// SPEC17 models SPEC CPU2017's 43 workloads (rate + speed). The
+// characters follow the published characterization literature
+// (Limaye & Adegbija ISPASS'18; Panda et al. HPCA'17): mcf/omnetpp are
+// pointer-chasing and TLB-hostile, lbm/bwaves are streaming
+// bandwidth-bound, deepsjeng/leela/exchange2 are branchy and
+// cache-resident, xz alternates compression phases, the fp codes are
+// multi-array stencil sweeps. Working sets span four orders of magnitude,
+// giving SPEC'17 the well-spread coverage the paper reports (best
+// SpreadScore; best CoverageScore under TLB-only events).
+func SPEC17(cfg Config) Suite {
+	rows := spec17Rows()
+	s := Suite{
+		Name:        "spec17",
+		Description: "SPEC CPU2017: 43 diverse CPU- and memory-intensive workloads.",
+	}
+	for i, r := range rows {
+		s.Specs = append(s.Specs, workload.Spec{
+			Name:         "spec17." + r.name,
+			Instructions: cfg.Instructions,
+			Seed:         seedFor(cfg, "spec17", i),
+			Phases:       jitterPhases(r.archetype(r.ws), i),
+		})
+	}
+	return s
+}
+
+// jitterPhases applies a deterministic per-workload perturbation to an
+// archetype's instruction mix and phase weights. Benchmarks sharing an
+// archetype (e.g. a rate/speed pair, or the four stencil codes) are
+// similar but not identical programs; without jitter they would collapse
+// onto the same point of the counter space and fake clusters the real
+// suite does not have. Low-discrepancy (golden-ratio) offsets keep the
+// perturbations well spread.
+func jitterPhases(phases []workload.Phase, idx int) []workload.Phase {
+	const phi = 0.6180339887498949
+	frac := func(k int) float64 {
+		v := float64(idx*7+k+1) * phi
+		return v - float64(int(v)) // in [0,1)
+	}
+	out := make([]workload.Phase, len(phases))
+	for p := range phases {
+		ph := phases[p]
+		scale := func(v float64, k int) float64 {
+			s := v * (0.82 + 0.36*frac(p*5+k))
+			if s < 0 {
+				s = 0
+			}
+			return s
+		}
+		ph.LoadFrac = scale(ph.LoadFrac, 0)
+		ph.StoreFrac = scale(ph.StoreFrac, 1)
+		ph.BranchFrac = scale(ph.BranchFrac, 2)
+		ph.Weight = ph.Weight * (0.9 + 0.2*frac(p*5+3))
+		if r := ph.BranchRegularity * (0.88 + 0.24*frac(p*5+4)); r <= 1 {
+			ph.BranchRegularity = r
+		}
+		out[p] = ph
+	}
+	return out
+}
+
+func spec17Rows() []spec17Row {
+	return []spec17Row{
+		// --- intrate ---
+		{"500.perlbench_r", archInterpreter, 48 * mib},
+		{"502.gcc_r", archCompiler, 96 * mib},
+		{"505.mcf_r", archPointerHeavy, 192 * mib},
+		{"520.omnetpp_r", archDiscreteEvent, 128 * mib},
+		{"523.xalancbmk_r", archTreeTransform, 96 * mib},
+		{"525.x264_r", archVideo, 32 * mib},
+		{"531.deepsjeng_r", archGameTree, 4 * mib},
+		{"541.leela_r", archGameTree, 1 * mib},
+		{"548.exchange2_r", archPuzzle, 256 * kib},
+		{"557.xz_r", archCompress, 64 * mib},
+		// --- fprate ---
+		{"503.bwaves_r", archStream, 96 * mib},
+		{"507.cactuBSSN_r", archStencil, 64 * mib},
+		{"508.namd_r", archParticle, 16 * mib},
+		{"510.parest_r", archSparseSolve, 48 * mib},
+		{"511.povray_r", archRender, 2 * mib},
+		{"519.lbm_r", archStream, 128 * mib},
+		{"521.wrf_r", archStencil, 80 * mib},
+		{"526.blender_r", archRender, 24 * mib},
+		{"527.cam4_r", archStencil, 56 * mib},
+		{"538.imagick_r", archStreamSmall, 8 * mib},
+		{"544.nab_r", archParticle, 4 * mib},
+		{"549.fotonik3d_r", archStream, 72 * mib},
+		{"554.roms_r", archStencil, 88 * mib},
+		// --- intspeed (larger inputs) ---
+		{"600.perlbench_s", archInterpreter, 96 * mib},
+		{"602.gcc_s", archCompiler, 192 * mib},
+		{"605.mcf_s", archPointerHeavy, 512 * mib},
+		{"620.omnetpp_s", archDiscreteEvent, 256 * mib},
+		{"623.xalancbmk_s", archTreeTransform, 160 * mib},
+		{"625.x264_s", archVideo, 64 * mib},
+		{"631.deepsjeng_s", archGameTree, 12 * mib},
+		{"641.leela_s", archGameTree, 2 * mib},
+		{"648.exchange2_s", archPuzzle, 512 * kib},
+		{"657.xz_s", archCompress, 256 * mib},
+		// --- fpspeed ---
+		{"603.bwaves_s", archStream, 256 * mib},
+		{"607.cactuBSSN_s", archStencil, 160 * mib},
+		{"619.lbm_s", archStream, 384 * mib},
+		{"621.wrf_s", archStencil, 192 * mib},
+		{"627.cam4_s", archStencil, 128 * mib},
+		{"628.pop2_s", archSparseSolve, 144 * mib},
+		{"638.imagick_s", archStreamSmall, 24 * mib},
+		{"644.nab_s", archParticle, 12 * mib},
+		{"649.fotonik3d_s", archStream, 176 * mib},
+		{"654.roms_s", archStencil, 224 * mib},
+	}
+}
+
+// archInterpreter: perlbench — bytecode dispatch: hot interpreter core,
+// irregular indirect branches, hash-heavy data phase.
+func archInterpreter(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "compile", Weight: 0.25,
+			LoadFrac: 0.34, StoreFrac: 0.18, BranchFrac: 0.16,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 4},
+			BranchRegularity: 0.7, BranchTakenProb: 0.6, BranchSites: 20},
+		{Name: "interpret", Weight: 0.75,
+			LoadFrac: 0.36, StoreFrac: 0.12, BranchFrac: 0.22,
+			LoadPattern:      workload.HotCold{HotSet: 512 * kib, ColdSet: ws, HotFrac: 0.8},
+			BranchRegularity: 0.45, BranchTakenProb: 0.55, BranchSites: 40},
+	}
+}
+
+// archCompiler: gcc — pass-structured, pointer-rich IR walking with
+// alternating allocation phases.
+func archCompiler(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "parse", Weight: 0.3,
+			LoadFrac: 0.4, StoreFrac: 0.2, BranchFrac: 0.18,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 3},
+			BranchRegularity: 0.6, BranchTakenProb: 0.6, BranchSites: 30},
+		{Name: "optimize", Weight: 0.5,
+			LoadFrac: 0.42, StoreFrac: 0.14, BranchFrac: 0.18,
+			LoadPattern:      workload.Zipf{WorkingSet: ws, Alpha: 0.7},
+			BranchRegularity: 0.5, BranchTakenProb: 0.55, BranchSites: 36},
+		{Name: "emit", Weight: 0.2,
+			LoadFrac: 0.3, StoreFrac: 0.3, BranchFrac: 0.1,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 4},
+			BranchRegularity: 0.8, BranchTakenProb: 0.75, BranchSites: 12},
+	}
+}
+
+// archPointerHeavy: mcf — network-simplex over a huge sparse graph:
+// dominant pointer chasing, brutal on TLB and LLC.
+func archPointerHeavy(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "build-network", Weight: 0.2,
+			LoadFrac: 0.3, StoreFrac: 0.26, BranchFrac: 0.08,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 2},
+			StorePattern:     workload.Random{WorkingSet: ws},
+			BranchRegularity: 0.85, BranchTakenProb: 0.8, BranchSites: 6},
+		{Name: "simplex", Weight: 0.8,
+			LoadFrac: 0.55, StoreFrac: 0.06, BranchFrac: 0.14,
+			LoadPattern:      workload.PointerChase{WorkingSet: ws},
+			BranchRegularity: 0.4, BranchTakenProb: 0.5, BranchSites: 16},
+	}
+}
+
+// archDiscreteEvent: omnetpp — event-queue simulation: skewed reuse of
+// queue heads over a large sparse heap.
+func archDiscreteEvent(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "setup", Weight: 0.15,
+			LoadFrac: 0.3, StoreFrac: 0.25, BranchFrac: 0.1,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 4},
+			BranchRegularity: 0.85, BranchTakenProb: 0.8, BranchSites: 8},
+		{Name: "simulate", Weight: 0.85,
+			LoadFrac: 0.44, StoreFrac: 0.14, BranchFrac: 0.16,
+			LoadPattern:      workload.Zipf{WorkingSet: ws, Alpha: 0.85},
+			BranchRegularity: 0.5, BranchTakenProb: 0.55, BranchSites: 28},
+	}
+}
+
+// archTreeTransform: xalancbmk — XML DOM traversal and transformation.
+func archTreeTransform(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "parse-dom", Weight: 0.35,
+			LoadFrac: 0.4, StoreFrac: 0.22, BranchFrac: 0.14,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 2},
+			StorePattern:     workload.Random{WorkingSet: ws},
+			BranchRegularity: 0.65, BranchTakenProb: 0.6, BranchSites: 18},
+		{Name: "transform", Weight: 0.65,
+			LoadFrac: 0.46, StoreFrac: 0.1, BranchFrac: 0.18,
+			LoadPattern:      workload.PointerChase{WorkingSet: ws},
+			BranchRegularity: 0.45, BranchTakenProb: 0.5, BranchSites: 26},
+	}
+}
+
+// archVideo: x264 — motion estimation over frame windows.
+func archVideo(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "analyse", Weight: 0.3,
+			LoadFrac: 0.44, StoreFrac: 0.06, BranchFrac: 0.18,
+			LoadPattern:      workload.Sequential{WorkingSet: ws},
+			BranchRegularity: 0.7, BranchTakenProb: 0.6, BranchSites: 20},
+		{Name: "motion", Weight: 0.45,
+			LoadFrac: 0.48, StoreFrac: 0.06, BranchFrac: 0.2,
+			LoadPattern:      workload.HotCold{HotSet: 512 * kib, ColdSet: ws, HotFrac: 0.7},
+			BranchRegularity: 0.45, BranchTakenProb: 0.5, BranchSites: 30},
+		{Name: "entropy", Weight: 0.25,
+			LoadFrac: 0.3, StoreFrac: 0.2, BranchFrac: 0.24,
+			LoadPattern:      workload.Random{WorkingSet: ws / 8},
+			BranchRegularity: 0.4, BranchTakenProb: 0.45, BranchSites: 32},
+	}
+}
+
+// archGameTree: deepsjeng/leela — alpha-beta/MCTS search: cache-resident
+// tables, very branchy, low memory pressure.
+func archGameTree(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "search", Weight: 0.8,
+			LoadFrac: 0.34, StoreFrac: 0.1, BranchFrac: 0.26,
+			LoadPattern:      workload.HotCold{HotSet: 256 * kib, ColdSet: ws, HotFrac: 0.85},
+			BranchRegularity: 0.35, BranchTakenProb: 0.5, BranchSites: 48},
+		{Name: "evaluate", Weight: 0.2,
+			LoadFrac: 0.3, StoreFrac: 0.06, BranchFrac: 0.16,
+			LoadPattern:      workload.Random{WorkingSet: ws / 2},
+			BranchRegularity: 0.6, BranchTakenProb: 0.55, BranchSites: 24},
+	}
+}
+
+// archPuzzle: exchange2 — tiny-footprint recursive solver, almost pure
+// compute and regular branches.
+func archPuzzle(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "solve", Weight: 1,
+			LoadFrac: 0.22, StoreFrac: 0.12, BranchFrac: 0.2,
+			LoadPattern:      workload.Random{WorkingSet: ws},
+			BranchRegularity: 0.75, BranchTakenProb: 0.65, BranchSites: 16},
+	}
+}
+
+// archCompress: xz — alternating match-finding (random) and encoding
+// (sequential) phases.
+func archCompress(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "read", Weight: 0.1,
+			LoadFrac: 0.5, StoreFrac: 0.1, BranchFrac: 0.06,
+			LoadPattern:      workload.Sequential{WorkingSet: ws},
+			BranchRegularity: 0.92, BranchTakenProb: 0.9, BranchSites: 4},
+		{Name: "match", Weight: 0.5,
+			LoadFrac: 0.44, StoreFrac: 0.08, BranchFrac: 0.18,
+			LoadPattern:      workload.Random{WorkingSet: ws / 2},
+			BranchRegularity: 0.45, BranchTakenProb: 0.5, BranchSites: 22},
+		{Name: "encode", Weight: 0.3,
+			LoadFrac: 0.3, StoreFrac: 0.24, BranchFrac: 0.14,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 4},
+			BranchRegularity: 0.7, BranchTakenProb: 0.65, BranchSites: 12},
+	}
+}
+
+// archStream: lbm/bwaves/fotonik3d — bandwidth-bound array sweeps.
+func archStream(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "init", Weight: 0.05,
+			StoreFrac: 0.5, BranchFrac: 0.04,
+			StorePattern:     workload.Sequential{WorkingSet: ws},
+			BranchRegularity: 0.98, BranchTakenProb: 0.96, BranchSites: 2},
+		{Name: "sweep", Weight: 0.9,
+			LoadFrac: 0.42, StoreFrac: 0.2, BranchFrac: 0.04,
+			LoadPattern:      workload.Streams{WorkingSet: ws, Count: 4},
+			BranchRegularity: 0.98, BranchTakenProb: 0.96, BranchSites: 2},
+	}
+}
+
+// archStreamSmall: imagick — streaming over mid-sized images with a
+// compute-heavy filter phase.
+func archStreamSmall(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "filter", Weight: 0.7,
+			LoadFrac: 0.3, StoreFrac: 0.14, BranchFrac: 0.06,
+			LoadPattern:      workload.Streams{WorkingSet: ws, Count: 3},
+			BranchRegularity: 0.95, BranchTakenProb: 0.92, BranchSites: 4},
+		{Name: "quantize", Weight: 0.3,
+			LoadFrac: 0.34, StoreFrac: 0.2, BranchFrac: 0.12,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 2},
+			BranchRegularity: 0.85, BranchTakenProb: 0.8, BranchSites: 8},
+	}
+}
+
+// archStencil: wrf/cam4/roms/cactuBSSN — multi-array grid updates with
+// moderate phases.
+func archStencil(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "halo-exchange", Weight: 0.12,
+			LoadFrac: 0.36, StoreFrac: 0.22, BranchFrac: 0.08,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 6},
+			BranchRegularity: 0.9, BranchTakenProb: 0.85, BranchSites: 6},
+		{Name: "update", Weight: 0.8,
+			LoadFrac: 0.4, StoreFrac: 0.16, BranchFrac: 0.06,
+			LoadPattern:      workload.Streams{WorkingSet: ws, Count: 6},
+			BranchRegularity: 0.96, BranchTakenProb: 0.94, BranchSites: 3},
+	}
+}
+
+// archParticle: namd/nab — particle interaction lists: mid-sized working
+// set with pair-list locality.
+func archParticle(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "pairlist", Weight: 0.25,
+			LoadFrac: 0.38, StoreFrac: 0.18, BranchFrac: 0.12,
+			LoadPattern:      workload.Random{WorkingSet: ws},
+			BranchRegularity: 0.7, BranchTakenProb: 0.65, BranchSites: 10},
+		{Name: "forces", Weight: 0.75,
+			LoadFrac: 0.4, StoreFrac: 0.1, BranchFrac: 0.06,
+			LoadPattern:      workload.HotCold{HotSet: ws / 8, ColdSet: ws, HotFrac: 0.7},
+			BranchRegularity: 0.92, BranchTakenProb: 0.9, BranchSites: 5},
+	}
+}
+
+// archSparseSolve: parest/pop2 — sparse linear algebra: indirect indexed
+// gathers over matrices.
+func archSparseSolve(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "assemble", Weight: 0.3,
+			LoadFrac: 0.34, StoreFrac: 0.24, BranchFrac: 0.1,
+			LoadPattern:      workload.Sequential{WorkingSet: ws / 2},
+			StorePattern:     workload.Random{WorkingSet: ws},
+			BranchRegularity: 0.8, BranchTakenProb: 0.75, BranchSites: 8},
+		{Name: "solve", Weight: 0.7,
+			LoadFrac: 0.46, StoreFrac: 0.1, BranchFrac: 0.07,
+			LoadPattern:      workload.Zipf{WorkingSet: ws, Alpha: 0.5},
+			BranchRegularity: 0.88, BranchTakenProb: 0.85, BranchSites: 6},
+	}
+}
+
+// archRender: povray/blender — ray/scene intersection over BVH trees with
+// hot shading kernels.
+func archRender(ws uint64) []workload.Phase {
+	return []workload.Phase{
+		{Name: "build-scene", Weight: 0.15,
+			LoadFrac: 0.32, StoreFrac: 0.24, BranchFrac: 0.1,
+			LoadPattern:      workload.Sequential{WorkingSet: ws},
+			BranchRegularity: 0.85, BranchTakenProb: 0.8, BranchSites: 8},
+		{Name: "trace", Weight: 0.85,
+			LoadFrac: 0.4, StoreFrac: 0.06, BranchFrac: 0.18,
+			LoadPattern:      workload.Zipf{WorkingSet: ws, Alpha: 0.9},
+			BranchRegularity: 0.55, BranchTakenProb: 0.55, BranchSites: 26},
+	}
+}

@@ -1,0 +1,204 @@
+// Package suites models the six benchmark suites of the paper's Table III
+// as synthetic workload specs for the uarch simulator. The models encode
+// each suite's published character rather than its code: Ligra's workloads
+// share a graph-loading framework and differ only in the compute kernel;
+// LMbench's microbenchmarks each hammer one subsystem to an extreme;
+// PARSEC and SGXGauge are phase-rich real-world applications; Nbench is a
+// set of steady compute kernels; SPEC'17 spans 43 diverse int/fp
+// workloads. Those structural properties — not the exact programs — are
+// what Perspector's scores react to, so preserving them preserves the
+// paper's findings.
+package suites
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"perspector/internal/perf"
+	"perspector/internal/rng"
+	"perspector/internal/uarch"
+	"perspector/internal/workload"
+)
+
+// Config controls suite construction and execution.
+type Config struct {
+	// Instructions is the dynamic instruction budget per workload. The
+	// paper tunes inputs so all workloads run for roughly the same time;
+	// a fixed instruction budget is the simulator analogue.
+	Instructions uint64
+	// Samples is the number of PMU time-series samples per workload.
+	Samples int
+	// Seed drives all randomness; per-workload seeds are derived from it.
+	Seed uint64
+	// Machine configures the simulated core; SampleInterval is overridden
+	// per workload from Samples.
+	Machine uarch.MachineConfig
+}
+
+// DefaultConfig returns the configuration used for the paper reproduction.
+func DefaultConfig() Config {
+	return Config{
+		Instructions: 400_000,
+		Samples:      100,
+		Seed:         2023, // DATE'23
+		Machine:      uarch.DefaultMachineConfig(),
+	}
+}
+
+// Validate checks a Config.
+func (c *Config) Validate() error {
+	if c.Instructions == 0 {
+		return fmt.Errorf("suites: zero instruction budget")
+	}
+	if c.Samples < 1 {
+		return fmt.Errorf("suites: need at least one sample, got %d", c.Samples)
+	}
+	if uint64(c.Samples) > c.Instructions {
+		return fmt.Errorf("suites: more samples (%d) than instructions (%d)", c.Samples, c.Instructions)
+	}
+	return nil
+}
+
+// Suite is a named set of workload specs.
+type Suite struct {
+	Name        string
+	Description string
+	Specs       []workload.Spec
+}
+
+// fnv1a hashes a suite name into the seed-derivation domain.
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// seedFor derives the deterministic seed of workload i in suite name.
+func seedFor(cfg Config, name string, i int) uint64 {
+	return rng.ChildSeed(cfg.Seed^fnv1a(name), i)
+}
+
+// All returns the six Table-III suites in paper order.
+func All(cfg Config) []Suite {
+	return []Suite{
+		PARSEC(cfg),
+		SPEC17(cfg),
+		Ligra(cfg),
+		LMbench(cfg),
+		Nbench(cfg),
+		SGXGauge(cfg),
+	}
+}
+
+// ByName returns the named suite ("parsec", "spec17", "ligra", "lmbench",
+// "nbench", "sgxgauge").
+func ByName(name string, cfg Config) (Suite, error) {
+	switch name {
+	case "parsec":
+		return PARSEC(cfg), nil
+	case "spec17":
+		return SPEC17(cfg), nil
+	case "ligra":
+		return Ligra(cfg), nil
+	case "lmbench":
+		return LMbench(cfg), nil
+	case "nbench":
+		return Nbench(cfg), nil
+	case "sgxgauge":
+		return SGXGauge(cfg), nil
+	default:
+		return Suite{}, fmt.Errorf("suites: unknown suite %q", name)
+	}
+}
+
+// Run executes every workload of the suite on a fresh machine and collects
+// totals and time series. Workloads run in parallel; results keep suite
+// order and are fully deterministic (each workload owns its machine and
+// RNG streams).
+func Run(s Suite, cfg Config) (*perf.SuiteMeasurement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Specs) == 0 {
+		return nil, fmt.Errorf("suites: suite %q has no workloads", s.Name)
+	}
+	sm := &perf.SuiteMeasurement{
+		Suite:     s.Name,
+		Workloads: make([]perf.Measurement, len(s.Specs)),
+	}
+
+	type job struct{ idx int }
+	jobs := make(chan job)
+	errs := make(chan error, len(s.Specs))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.Specs) {
+		workers = len(s.Specs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				meas, err := runOne(s.Specs[j.idx], cfg)
+				if err != nil {
+					errs <- fmt.Errorf("suites: %s/%s: %w", s.Name, s.Specs[j.idx].Name, err)
+					continue
+				}
+				sm.Workloads[j.idx] = *meas
+			}
+		}()
+	}
+	for i := range s.Specs {
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	return sm, nil
+}
+
+func runOne(spec workload.Spec, cfg Config) (*perf.Measurement, error) {
+	prog, err := workload.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	mc := cfg.Machine
+	mc.SampleInterval = spec.Instructions / uint64(cfg.Samples)
+	if mc.SampleInterval == 0 {
+		mc.SampleInterval = 1
+	}
+	m, err := uarch.NewMachine(mc)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(prog, spec.Instructions)
+}
+
+// RunAll executes every Table-III suite and returns the measurements in
+// paper order.
+func RunAll(cfg Config) ([]*perf.SuiteMeasurement, error) {
+	all := All(cfg)
+	out := make([]*perf.SuiteMeasurement, len(all))
+	for i, s := range all {
+		sm, err := Run(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sm
+	}
+	return out, nil
+}
+
+// Sizes used across suite definitions, named for readability.
+const (
+	kib = uint64(1) << 10
+	mib = uint64(1) << 20
+)

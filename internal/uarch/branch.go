@@ -1,0 +1,80 @@
+package uarch
+
+import "fmt"
+
+// BranchPredictor is a gshare predictor: the global history register is
+// XOR-folded with the branch PC to index a table of 2-bit saturating
+// counters.
+type BranchPredictor struct {
+	table      []uint8
+	mask       uint64
+	history    uint64
+	histBits   uint
+	predicts   uint64
+	mispredict uint64
+}
+
+// NewBranchPredictor builds a gshare predictor with 2^tableBits counters
+// and historyBits bits of global history.
+func NewBranchPredictor(tableBits, historyBits uint) (*BranchPredictor, error) {
+	if tableBits == 0 || tableBits > 24 {
+		return nil, fmt.Errorf("uarch: branch table bits %d out of (0,24]", tableBits)
+	}
+	if historyBits > tableBits {
+		return nil, fmt.Errorf("uarch: history bits %d exceed table bits %d", historyBits, tableBits)
+	}
+	bp := &BranchPredictor{
+		table:    make([]uint8, 1<<tableBits),
+		mask:     (1 << tableBits) - 1,
+		histBits: historyBits,
+	}
+	// Initialize to weakly-taken, the conventional power-on state.
+	for i := range bp.table {
+		bp.table[i] = 2
+	}
+	return bp, nil
+}
+
+// Predict consumes one branch with program counter pc and actual outcome
+// taken, returning true when the prediction was correct. State (counters
+// and history) is updated.
+func (bp *BranchPredictor) Predict(pc uint64, taken bool) bool {
+	idx := (pc ^ bp.history) & bp.mask
+	ctr := bp.table[idx]
+	predictedTaken := ctr >= 2
+	bp.predicts++
+	correct := predictedTaken == taken
+	if !correct {
+		bp.mispredict++
+	}
+	// Saturating update.
+	if taken && ctr < 3 {
+		bp.table[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		bp.table[idx] = ctr - 1
+	}
+	// Shift history.
+	bp.history = ((bp.history << 1) | boolBit(taken)) & ((1 << bp.histBits) - 1)
+	return correct
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Stats returns lifetime prediction and misprediction counts.
+func (bp *BranchPredictor) Stats() (predicts, mispredicts uint64) {
+	return bp.predicts, bp.mispredict
+}
+
+// Reset restores the power-on state.
+func (bp *BranchPredictor) Reset() {
+	for i := range bp.table {
+		bp.table[i] = 2
+	}
+	bp.history = 0
+	bp.predicts, bp.mispredict = 0, 0
+}

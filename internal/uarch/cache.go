@@ -1,0 +1,158 @@
+// Package uarch is the hardware substrate of the reproduction: an
+// instruction-level microarchitecture simulator that stands in for the
+// paper's Xeon E-2186G + perf setup (Table II / Table IV). It models a
+// three-level set-associative cache hierarchy, a two-level data TLB with a
+// page-walk cost model, a gshare branch predictor, an OS page-fault model,
+// and an in-order core with cycle accounting, all feeding a PMU that
+// exposes exactly the Table-IV events as totals and sampled time series.
+package uarch
+
+import "fmt"
+
+// Cache is a set-associative cache with true-LRU replacement. Only tag
+// state is modelled — Perspector needs hit/miss behaviour, not data.
+// Set selection is line-number modulo set-count, which admits
+// non-power-of-two set counts (e.g. the 12 MiB L3 of Table II has 12288
+// sets); tags store the full line number.
+type Cache struct {
+	name     string
+	lineBits uint
+	ways     int
+	numSets  uint64
+	tags     []uint64 // tags[set*ways + way] holds the full line number
+	valid    []bool
+	lru      []uint8 // recency rank per way: 0 = MRU
+	accesses uint64
+	misses   uint64
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name     string
+	SizeB    int // total capacity in bytes
+	LineB    int // line size in bytes (power of two)
+	Ways     int // associativity
+	LatencyC int // hit latency in cycles
+}
+
+// NewCache builds a cache from a config. Size, line size and the derived
+// set count must be powers of two.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.SizeB <= 0 || cfg.LineB <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("uarch: cache %q has non-positive geometry", cfg.Name)
+	}
+	if cfg.SizeB%(cfg.LineB*cfg.Ways) != 0 {
+		return nil, fmt.Errorf("uarch: cache %q size %d not divisible by line*ways", cfg.Name, cfg.SizeB)
+	}
+	sets := cfg.SizeB / (cfg.LineB * cfg.Ways)
+	if cfg.LineB&(cfg.LineB-1) != 0 {
+		return nil, fmt.Errorf("uarch: cache %q needs a power-of-two line size", cfg.Name)
+	}
+	c := &Cache{
+		name:     cfg.Name,
+		lineBits: log2(uint64(cfg.LineB)),
+		ways:     cfg.Ways,
+		numSets:  uint64(sets),
+		tags:     make([]uint64, sets*cfg.Ways),
+		valid:    make([]bool, sets*cfg.Ways),
+		lru:      make([]uint8, sets*cfg.Ways),
+	}
+	if cfg.Ways > 255 {
+		return nil, fmt.Errorf("uarch: cache %q associativity %d exceeds LRU rank width", cfg.Name, cfg.Ways)
+	}
+	c.initLRU()
+	return c, nil
+}
+
+func log2(v uint64) uint {
+	var b uint
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Access looks up addr, updating LRU state, and on a miss installs the
+// line. It returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	line := addr >> c.lineBits
+	set := line % c.numSets
+	tag := line
+	base := int(set) * c.ways
+
+	hitWay := -1
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.touch(base, hitWay)
+		return true
+	}
+	c.misses++
+	// Install into the LRU way (highest rank, preferring invalid ways).
+	victim := 0
+	worst := uint8(0)
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+		if c.lru[base+w] >= worst {
+			worst = c.lru[base+w]
+			victim = w
+		}
+	}
+	c.tags[base+victim] = tag
+	c.valid[base+victim] = true
+	c.touch(base, victim)
+	return false
+}
+
+// touch promotes way to MRU within its set. Ranks form a permutation of
+// 0..ways−1 per set (established by initLRU), which the partial increment
+// below preserves, so the LRU victim is always unique.
+func (c *Cache) touch(base, way int) {
+	old := c.lru[base+way]
+	for w := 0; w < c.ways; w++ {
+		if c.lru[base+w] < old {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// initLRU seeds each set's recency ranks with the permutation 0..ways−1.
+func (c *Cache) initLRU() {
+	for s := 0; s < int(c.numSets); s++ {
+		for w := 0; w < c.ways; w++ {
+			c.lru[s*c.ways+w] = uint8(w)
+		}
+	}
+}
+
+// Stats returns lifetime access and miss counts.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// Reset invalidates all lines and zeroes statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.tags[i] = 0
+	}
+	c.initLRU()
+	c.accesses, c.misses = 0, 0
+}
+
+// LineBytes returns the cache line size in bytes.
+func (c *Cache) LineBytes() int { return 1 << c.lineBits }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.numSets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }

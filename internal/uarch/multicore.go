@@ -1,0 +1,107 @@
+package uarch
+
+import (
+	"fmt"
+
+	"perspector/internal/perf"
+)
+
+// MultiCore simulates N cores with private L1/L2/dTLB/branch state and a
+// shared L3, interleaving the cores' instruction streams round-robin —
+// the contention structure multithreaded suites like PARSEC exercise on
+// the Table-II machine (6 cores, shared 12 MiB LLC). PMU events aggregate
+// across cores, matching how system-wide `perf stat -a` counts.
+//
+// The model is deliberately simple: round-robin interleaving at
+// instruction granularity approximates symmetric simultaneous progress;
+// it captures LLC capacity contention (the first-order multicore effect
+// on Table-IV counters) and ignores coherence and bandwidth queueing.
+type MultiCore struct {
+	cfg   MachineConfig
+	cores []*Machine
+	l3    *Cache
+}
+
+// NewMultiCore builds n cores from a shared config. Each core gets
+// private L1, L2, TLB and branch state; the L3 from cfg.L3 is shared.
+func NewMultiCore(cfg MachineConfig, n int) (*MultiCore, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("uarch: NewMultiCore with %d cores", n)
+	}
+	shared, err := NewCache(cfg.L3)
+	if err != nil {
+		return nil, err
+	}
+	mc := &MultiCore{cfg: cfg, l3: shared}
+	for i := 0; i < n; i++ {
+		m, err := NewMachine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Replace the private L3 with the shared one.
+		m.l3 = shared
+		mc.cores = append(mc.cores, m)
+	}
+	return mc, nil
+}
+
+// Cores returns the number of cores.
+func (mc *MultiCore) Cores() int { return len(mc.cores) }
+
+// Reset restores power-on state on every core and the shared L3.
+func (mc *MultiCore) Reset() {
+	for _, c := range mc.cores {
+		c.Reset() // resets the shared L3 repeatedly; idempotent
+	}
+	mc.l3.Reset()
+}
+
+// RunParallel executes one program per core (len(progs) must equal the
+// core count), interleaving instructions round-robin until every program
+// has executed maxInstrPerCore instructions or ended. It returns one
+// aggregated measurement; the workload name is taken from the first
+// program. Sampling (cfg.SampleInterval) applies to the aggregate
+// instruction count.
+func (mc *MultiCore) RunParallel(progs []Program, maxInstrPerCore uint64) (*perf.Measurement, error) {
+	if len(progs) != len(mc.cores) {
+		return nil, fmt.Errorf("uarch: RunParallel got %d programs for %d cores", len(progs), len(mc.cores))
+	}
+	if maxInstrPerCore == 0 {
+		return nil, fmt.Errorf("uarch: RunParallel with zero instruction budget")
+	}
+	meas := &perf.Measurement{Workload: progs[0].Name()}
+	pmu := &meas.Totals
+	ts := &meas.Series
+	ts.Interval = mc.cfg.SampleInterval
+
+	executed := make([]uint64, len(progs))
+	done := make([]bool, len(progs))
+	remaining := len(progs)
+	var instr Instr
+	var total uint64
+	var prev perf.Values
+	for remaining > 0 {
+		for i, prog := range progs {
+			if done[i] {
+				continue
+			}
+			if executed[i] >= maxInstrPerCore || !prog.Next(&instr) {
+				done[i] = true
+				remaining--
+				continue
+			}
+			executed[i]++
+			total++
+			mc.cores[i].step(&instr, pmu)
+			if mc.cfg.SampleInterval > 0 && total%mc.cfg.SampleInterval == 0 {
+				mc.cores[i].chargeOSNoise(pmu)
+				delta := pmu.Sub(prev)
+				prev = *pmu
+				for c := perf.Counter(0); c < perf.NumCounters; c++ {
+					ts.Samples[c] = append(ts.Samples[c], float64(delta.Get(c)))
+				}
+			}
+		}
+	}
+	return meas, nil
+}

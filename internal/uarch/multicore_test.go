@@ -1,0 +1,194 @@
+package uarch
+
+import (
+	"testing"
+
+	"perspector/internal/perf"
+	"perspector/internal/rng"
+)
+
+// mkStreams builds n scripted programs, each sweeping its own region of
+// the given working set.
+func mkStreamProgs(n int, wsPerCore uint64, instrs int) []Program {
+	progs := make([]Program, n)
+	for c := 0; c < n; c++ {
+		base := uint64(c) << 33
+		ins := make([]Instr, instrs)
+		for i := range ins {
+			ins[i] = Instr{Kind: Load, Addr: base + (uint64(i)*64)%wsPerCore}
+		}
+		progs[c] = &scriptProgram{name: "core" + string(rune('0'+c)), instrs: ins}
+	}
+	return progs
+}
+
+func TestMultiCoreBasics(t *testing.T) {
+	cfg := DefaultMachineConfig()
+	mc, err := NewMultiCore(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Cores() != 4 {
+		t.Fatalf("cores = %d", mc.Cores())
+	}
+	progs := mkStreamProgs(4, 1<<20, 10000)
+	meas, err := mc.RunParallel(progs, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 40000 loads executed.
+	if got := meas.Totals.Get(perf.DTLBLoads); got != 40000 {
+		t.Fatalf("aggregate loads = %d, want 40000", got)
+	}
+	if meas.Totals.Get(perf.CPUCycles) < 40000 {
+		t.Fatal("CPI < 1 in aggregate")
+	}
+}
+
+func TestMultiCoreErrors(t *testing.T) {
+	cfg := DefaultMachineConfig()
+	if _, err := NewMultiCore(cfg, 0); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+	mc, err := NewMultiCore(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.RunParallel(mkStreamProgs(3, 1<<20, 10), 100); err == nil {
+		t.Fatal("program/core mismatch accepted")
+	}
+	if _, err := mc.RunParallel(mkStreamProgs(2, 1<<20, 10), 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestMultiCoreLLCContention(t *testing.T) {
+	// Four cores each re-sweeping a 4 MiB region: together 16 MiB exceeds
+	// the shared 12 MiB L3, so misses explode versus one core running the
+	// same per-core working set alone.
+	const ws = 4 << 20
+	const instrs = 200_000
+
+	solo, err := NewMultiCore(DefaultMachineConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloMeas, err := solo.RunParallel(mkStreamProgs(1, ws, instrs), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quad, err := NewMultiCore(DefaultMachineConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quadMeas, err := quad.RunParallel(mkStreamProgs(4, ws, instrs), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-core miss rate: misses / loads.
+	soloRate := float64(soloMeas.Totals.Get(perf.LLCLoadMisses)) /
+		float64(soloMeas.Totals.Get(perf.LLCLoads))
+	quadRate := float64(quadMeas.Totals.Get(perf.LLCLoadMisses)) /
+		float64(quadMeas.Totals.Get(perf.LLCLoads))
+	if quadRate < 2*soloRate {
+		t.Fatalf("no LLC contention visible: solo miss rate %.3f, quad %.3f", soloRate, quadRate)
+	}
+}
+
+func TestMultiCorePrivateStateIsolated(t *testing.T) {
+	// A branch-heavy core must not disturb another core's predictor: the
+	// victim's miss count should match its solo run exactly (branch state
+	// is private; only the shared L3 couples cores, and these programs
+	// don't touch memory).
+	mkBranchProg := func(seed uint64, regular bool) *scriptProgram {
+		src := rng.New(seed)
+		ins := make([]Instr, 20000)
+		for i := range ins {
+			taken := true
+			if !regular {
+				taken = src.Bool(0.5)
+			}
+			ins[i] = Instr{Kind: Branch, PC: 0x400000, Taken: taken}
+		}
+		return &scriptProgram{name: "br", instrs: ins}
+	}
+	solo, err := NewMultiCore(DefaultMachineConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloMeas, err := solo.RunParallel([]Program{mkBranchProg(1, true)}, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pair, err := NewMultiCore(DefaultMachineConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairMeas, err := pair.RunParallel(
+		[]Program{mkBranchProg(1, true), mkBranchProg(2, false)}, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair misses = victim solo misses + the hostile core's own misses;
+	// the regular core alone has near-zero misses, so the pair total must
+	// be dominated by the hostile core and the regular core's share
+	// unchanged. Check: pair misses >= hostile-ish and
+	// pair regular-core contribution == solo (can't separate directly, so
+	// assert pair >= solo and solo is tiny).
+	soloMisses := soloMeas.Totals.Get(perf.BranchMisses)
+	if soloMisses > 5 {
+		t.Fatalf("regular branch program missed %d times solo", soloMisses)
+	}
+	pairMisses := pairMeas.Totals.Get(perf.BranchMisses)
+	if pairMisses < 5000 {
+		t.Fatalf("hostile core misses not visible: %d", pairMisses)
+	}
+}
+
+func TestMultiCoreDeterministic(t *testing.T) {
+	run := func() perf.Values {
+		mc, err := NewMultiCore(DefaultMachineConfig(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := mc.RunParallel(mkStreamProgs(3, 2<<20, 30000), 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meas.Totals
+	}
+	if run() != run() {
+		t.Fatal("multicore run not deterministic")
+	}
+}
+
+func TestMultiCoreSampling(t *testing.T) {
+	cfg := DefaultMachineConfig()
+	cfg.SampleInterval = 1000
+	mc, err := NewMultiCore(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := mc.RunParallel(mkStreamProgs(2, 1<<20, 5000), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Series.Len() != 10 {
+		t.Fatalf("samples = %d, want 10 (10000 aggregate instructions)", meas.Series.Len())
+	}
+}
+
+func BenchmarkMultiCore4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mc, err := NewMultiCore(DefaultMachineConfig(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mc.RunParallel(mkStreamProgs(4, 4<<20, 50000), 1<<30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

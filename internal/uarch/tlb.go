@@ -1,0 +1,94 @@
+package uarch
+
+import "fmt"
+
+// TLB is a two-level data TLB. The first level is small and fully modelled
+// with set-associative LRU; the second level backs it. A miss in both
+// levels triggers a page walk whose cycle cost the caller charges via the
+// WalkCycles config.
+type TLB struct {
+	l1, l2   *Cache
+	pageBits uint
+	// Lifetime statistics.
+	accesses uint64
+	l1Misses uint64
+	walks    uint64
+}
+
+// TLBConfig describes the two TLB levels in entries (not bytes).
+type TLBConfig struct {
+	L1Entries int
+	L1Ways    int
+	L2Entries int
+	L2Ways    int
+	PageB     int // page size in bytes (power of two)
+	// WalkCycles is the cycle cost of a full page-table walk.
+	WalkCycles int
+	// L2HitCycles is the extra latency of an L1-miss/L2-hit lookup.
+	L2HitCycles int
+}
+
+// DefaultTLBConfig mirrors a Skylake-class dTLB: 64-entry 4-way L1,
+// 1536-entry 12-way STLB, 4 KiB pages, ~30-cycle walks.
+func DefaultTLBConfig() TLBConfig {
+	return TLBConfig{
+		L1Entries: 64, L1Ways: 4,
+		L2Entries: 1536, L2Ways: 12,
+		PageB:      4096,
+		WalkCycles: 30, L2HitCycles: 7,
+	}
+}
+
+// NewTLB builds a TLB; entry counts must be divisible into power-of-two
+// set counts, like caches.
+func NewTLB(cfg TLBConfig) (*TLB, error) {
+	if cfg.PageB <= 0 || cfg.PageB&(cfg.PageB-1) != 0 {
+		return nil, fmt.Errorf("uarch: page size %d not a power of two", cfg.PageB)
+	}
+	// Reuse Cache with "line size" = 1 so the page number itself indexes.
+	l1, err := NewCache(CacheConfig{Name: "dTLB-L1", SizeB: cfg.L1Entries, LineB: 1, Ways: cfg.L1Ways})
+	if err != nil {
+		return nil, fmt.Errorf("uarch: TLB L1: %w", err)
+	}
+	l2, err := NewCache(CacheConfig{Name: "dTLB-L2", SizeB: cfg.L2Entries, LineB: 1, Ways: cfg.L2Ways})
+	if err != nil {
+		return nil, fmt.Errorf("uarch: TLB L2: %w", err)
+	}
+	return &TLB{l1: l1, l2: l2, pageBits: log2(uint64(cfg.PageB))}, nil
+}
+
+// TLBResult describes one translation.
+type TLBResult struct {
+	// L1Miss is true when the first level missed (the dTLB-load/store-miss
+	// events of Table IV).
+	L1Miss bool
+	// Walked is true when both levels missed and a page walk ran.
+	Walked bool
+}
+
+// Translate looks up the page of addr, filling both levels on miss.
+func (t *TLB) Translate(addr uint64) TLBResult {
+	t.accesses++
+	page := addr >> t.pageBits
+	if t.l1.Access(page) {
+		return TLBResult{}
+	}
+	t.l1Misses++
+	if t.l2.Access(page) {
+		return TLBResult{L1Miss: true}
+	}
+	t.walks++
+	return TLBResult{L1Miss: true, Walked: true}
+}
+
+// Stats returns lifetime access, L1-miss and walk counts.
+func (t *TLB) Stats() (accesses, l1Misses, walks uint64) {
+	return t.accesses, t.l1Misses, t.walks
+}
+
+// Reset clears entries and statistics.
+func (t *TLB) Reset() {
+	t.l1.Reset()
+	t.l2.Reset()
+	t.accesses, t.l1Misses, t.walks = 0, 0, 0
+}

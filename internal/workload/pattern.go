@@ -1,0 +1,353 @@
+// Package workload models synthetic programs for the uarch simulator.
+// A workload is a Spec: a named sequence of phases, each phase defining an
+// instruction mix, memory access patterns, branch behaviour, and syscall
+// rate. Compiling a Spec yields a deterministic uarch.Program whose PMU
+// signature — cache/TLB locality, branch predictability, phase structure —
+// is controlled by the Spec's parameters. The six suite models in
+// internal/suites are built entirely from these pieces.
+package workload
+
+import (
+	"fmt"
+
+	"perspector/internal/rng"
+)
+
+// AddrGen produces a stream of virtual addresses.
+type AddrGen interface {
+	Next() uint64
+}
+
+// PatternSpec describes a memory access pattern; Instantiate binds it to a
+// base address and an RNG stream, yielding a fresh generator.
+type PatternSpec interface {
+	// Instantiate creates a generator addressing [base, base+Footprint).
+	Instantiate(base uint64, src *rng.Source) (AddrGen, error)
+	// Footprint is the size in bytes of the region the pattern touches.
+	Footprint() uint64
+}
+
+// --- Sequential ---
+
+// Sequential sweeps a working set cyclically with a fixed stride,
+// modelling streaming kernels (memcpy, vector ops, I/O buffers).
+type Sequential struct {
+	// WorkingSet is the region size in bytes.
+	WorkingSet uint64
+	// Stride is the distance between consecutive accesses; 0 defaults to 64.
+	Stride uint64
+}
+
+// Footprint returns the working-set size.
+func (s Sequential) Footprint() uint64 { return s.WorkingSet }
+
+// Instantiate builds the sweep generator.
+func (s Sequential) Instantiate(base uint64, _ *rng.Source) (AddrGen, error) {
+	if s.WorkingSet == 0 {
+		return nil, fmt.Errorf("workload: Sequential with zero working set")
+	}
+	stride := s.Stride
+	if stride == 0 {
+		stride = 64
+	}
+	return &seqGen{base: base, ws: s.WorkingSet, stride: stride}, nil
+}
+
+type seqGen struct {
+	base, ws, stride, pos uint64
+}
+
+func (g *seqGen) Next() uint64 {
+	addr := g.base + g.pos
+	g.pos += g.stride
+	if g.pos >= g.ws {
+		g.pos = 0
+	}
+	return addr
+}
+
+// --- Strided multi-stream ---
+
+// Streams interleaves several independent sequential streams, modelling
+// stencil and multi-array kernels. Each stream sweeps WorkingSet/Count
+// bytes.
+type Streams struct {
+	WorkingSet uint64
+	Count      int
+	Stride     uint64
+}
+
+// Footprint returns the combined working-set size.
+func (s Streams) Footprint() uint64 { return s.WorkingSet }
+
+// Instantiate builds the interleaved generator.
+func (s Streams) Instantiate(base uint64, _ *rng.Source) (AddrGen, error) {
+	if s.Count <= 0 {
+		return nil, fmt.Errorf("workload: Streams with count %d", s.Count)
+	}
+	if s.WorkingSet == 0 {
+		return nil, fmt.Errorf("workload: Streams with zero working set")
+	}
+	stride := s.Stride
+	if stride == 0 {
+		stride = 64
+	}
+	per := s.WorkingSet / uint64(s.Count)
+	if per < stride {
+		return nil, fmt.Errorf("workload: Streams working set %d too small for %d streams", s.WorkingSet, s.Count)
+	}
+	g := &streamsGen{stride: stride, per: per}
+	for i := 0; i < s.Count; i++ {
+		g.bases = append(g.bases, base+uint64(i)*per)
+		g.pos = append(g.pos, 0)
+	}
+	return g, nil
+}
+
+type streamsGen struct {
+	bases  []uint64
+	pos    []uint64
+	per    uint64
+	stride uint64
+	turn   int
+}
+
+func (g *streamsGen) Next() uint64 {
+	i := g.turn
+	g.turn = (g.turn + 1) % len(g.bases)
+	addr := g.bases[i] + g.pos[i]
+	g.pos[i] += g.stride
+	if g.pos[i] >= g.per {
+		g.pos[i] = 0
+	}
+	return addr
+}
+
+// --- Uniform random ---
+
+// Random draws uniformly over the working set at cache-line granularity,
+// modelling hash tables and GUPS-style updates: hostile to every level of
+// the hierarchy once the set exceeds its capacity.
+type Random struct {
+	WorkingSet uint64
+}
+
+// Footprint returns the working-set size.
+func (r Random) Footprint() uint64 { return r.WorkingSet }
+
+// Instantiate builds the uniform generator.
+func (r Random) Instantiate(base uint64, src *rng.Source) (AddrGen, error) {
+	if r.WorkingSet < 64 {
+		return nil, fmt.Errorf("workload: Random working set %d below one line", r.WorkingSet)
+	}
+	return &randGen{base: base, lines: r.WorkingSet / 64, src: src}, nil
+}
+
+type randGen struct {
+	base  uint64
+	lines uint64
+	src   *rng.Source
+}
+
+func (g *randGen) Next() uint64 {
+	return g.base + uint64(g.src.Intn(int(g.lines)))*64
+}
+
+// --- Zipf / graph-like ---
+
+// Zipf draws pages from a power-law distribution and lines uniformly
+// within the page, modelling graph analytics: heavy reuse of hub pages
+// with a long cold tail. Page- vs line-level locality decouple, which is
+// what separates TLB behaviour from cache behaviour in the suites.
+type Zipf struct {
+	WorkingSet uint64
+	// Alpha is the skew exponent; 0 is uniform, ≥1 strongly skewed.
+	Alpha float64
+}
+
+// Footprint returns the working-set size.
+func (z Zipf) Footprint() uint64 { return z.WorkingSet }
+
+// Instantiate builds the Zipf generator.
+func (z Zipf) Instantiate(base uint64, src *rng.Source) (AddrGen, error) {
+	pages := z.WorkingSet / 4096
+	if pages == 0 {
+		return nil, fmt.Errorf("workload: Zipf working set %d below one page", z.WorkingSet)
+	}
+	if z.Alpha < 0 {
+		return nil, fmt.Errorf("workload: Zipf alpha %v negative", z.Alpha)
+	}
+	return &zipfGen{
+		base: base,
+		zipf: rng.NewZipf(src, int(pages), z.Alpha),
+		src:  src,
+	}, nil
+}
+
+type zipfGen struct {
+	base uint64
+	zipf *rng.Zipf
+	src  *rng.Source
+}
+
+func (g *zipfGen) Next() uint64 {
+	page := uint64(g.zipf.Next())
+	line := uint64(g.src.Intn(4096 / 64))
+	return g.base + page*4096 + line*64
+}
+
+// --- Pointer chase ---
+
+// PointerChase walks a pseudo-random permutation cycle over the lines of
+// the working set, modelling linked-list and B-tree traversal: every line
+// is visited exactly once per cycle (no short-term reuse), with an
+// unpredictable page sequence.
+type PointerChase struct {
+	WorkingSet uint64
+}
+
+// Footprint returns the working-set size.
+func (p PointerChase) Footprint() uint64 { return p.WorkingSet }
+
+// Instantiate builds the permutation-walk generator.
+func (p PointerChase) Instantiate(base uint64, src *rng.Source) (AddrGen, error) {
+	lines := p.WorkingSet / 64
+	if lines == 0 {
+		return nil, fmt.Errorf("workload: PointerChase working set %d below one line", p.WorkingSet)
+	}
+	const maxLines = 1 << 24 // 1 GiB of chase nodes; beyond this the table is impractical
+	if lines > maxLines {
+		return nil, fmt.Errorf("workload: PointerChase working set %d too large", p.WorkingSet)
+	}
+	// Build a single cycle with Sattolo's algorithm so the walk covers the
+	// whole set before repeating.
+	next := make([]uint32, lines)
+	for i := range next {
+		next[i] = uint32(i)
+	}
+	for i := int(lines) - 1; i > 0; i-- {
+		j := src.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	return &chaseGen{base: base, next: next}, nil
+}
+
+type chaseGen struct {
+	base uint64
+	next []uint32
+	cur  uint32
+}
+
+func (g *chaseGen) Next() uint64 {
+	g.cur = g.next[g.cur]
+	return g.base + uint64(g.cur)*64
+}
+
+// --- Hot/cold mix ---
+
+// HotCold accesses a small hot region with probability HotFrac and a large
+// cold region otherwise, both uniformly. It models partitioned working
+// sets (e.g. an index plus a heap) and produces mid-range hit ratios the
+// pure patterns cannot.
+type HotCold struct {
+	HotSet  uint64
+	ColdSet uint64
+	HotFrac float64
+}
+
+// Footprint returns the combined region size.
+func (h HotCold) Footprint() uint64 { return h.HotSet + h.ColdSet }
+
+// Instantiate builds the mixed generator.
+func (h HotCold) Instantiate(base uint64, src *rng.Source) (AddrGen, error) {
+	if h.HotSet < 64 || h.ColdSet < 64 {
+		return nil, fmt.Errorf("workload: HotCold regions below one line (%d, %d)", h.HotSet, h.ColdSet)
+	}
+	if h.HotFrac < 0 || h.HotFrac > 1 {
+		return nil, fmt.Errorf("workload: HotCold fraction %v out of [0,1]", h.HotFrac)
+	}
+	return &hotColdGen{
+		base: base, hotLines: h.HotSet / 64,
+		coldBase: base + h.HotSet, coldLines: h.ColdSet / 64,
+		hotFrac: h.HotFrac, src: src,
+	}, nil
+}
+
+type hotColdGen struct {
+	base      uint64
+	hotLines  uint64
+	coldBase  uint64
+	coldLines uint64
+	hotFrac   float64
+	src       *rng.Source
+}
+
+func (g *hotColdGen) Next() uint64 {
+	if g.src.Bool(g.hotFrac) {
+		return g.base + uint64(g.src.Intn(int(g.hotLines)))*64
+	}
+	return g.coldBase + uint64(g.src.Intn(int(g.coldLines)))*64
+}
+
+// --- Alternating ---
+
+// Alternating switches between two sub-patterns every Period accesses,
+// modelling fine-grained phase behaviour *within* a workload phase — e.g.
+// a loop that interleaves a gather step with a sequential update step.
+// The sub-patterns address disjoint regions.
+type Alternating struct {
+	A, B PatternSpec
+	// Period is the number of accesses spent in each sub-pattern before
+	// switching; 0 defaults to 64.
+	Period int
+}
+
+// Footprint returns the combined region size.
+func (a Alternating) Footprint() uint64 {
+	if a.A == nil || a.B == nil {
+		return 0
+	}
+	return a.A.Footprint() + a.B.Footprint()
+}
+
+// Instantiate builds both sub-generators over adjacent regions.
+func (a Alternating) Instantiate(base uint64, src *rng.Source) (AddrGen, error) {
+	if a.A == nil || a.B == nil {
+		return nil, fmt.Errorf("workload: Alternating needs both sub-patterns")
+	}
+	if a.Period < 0 {
+		return nil, fmt.Errorf("workload: Alternating period %d negative", a.Period)
+	}
+	period := a.Period
+	if period == 0 {
+		period = 64
+	}
+	genA, err := a.A.Instantiate(base, src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("workload: Alternating sub-pattern A: %w", err)
+	}
+	genB, err := a.B.Instantiate(base+a.A.Footprint(), src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("workload: Alternating sub-pattern B: %w", err)
+	}
+	return &altGen{a: genA, b: genB, period: period}, nil
+}
+
+type altGen struct {
+	a, b   AddrGen
+	period int
+	count  int
+	inB    bool
+}
+
+func (g *altGen) Next() uint64 {
+	if g.count >= g.period {
+		g.count = 0
+		g.inB = !g.inB
+	}
+	g.count++
+	if g.inB {
+		return g.b.Next()
+	}
+	return g.a.Next()
+}

@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"fmt"
+
+	"perspector/internal/rng"
+	"perspector/internal/uarch"
+)
+
+// Phase describes one execution phase of a workload. Fractions are
+// per-instruction probabilities; the remainder after loads, stores,
+// branches and syscalls is ALU work.
+type Phase struct {
+	// Name labels the phase (diagnostics only).
+	Name string
+	// Weight is the phase's share of the workload's instructions;
+	// weights are normalized across phases.
+	Weight float64
+
+	// LoadFrac, StoreFrac, BranchFrac, SyscallFrac give the instruction
+	// mix. Their sum must not exceed 1.
+	LoadFrac    float64
+	StoreFrac   float64
+	BranchFrac  float64
+	SyscallFrac float64
+
+	// LoadPattern and StorePattern drive address generation. StorePattern
+	// defaults to LoadPattern when nil.
+	LoadPattern  PatternSpec
+	StorePattern PatternSpec
+
+	// BranchRegularity is the probability a branch outcome follows its
+	// site's deterministic loop pattern (predictable); otherwise the
+	// outcome is a coin flip with BranchTakenProb.
+	BranchRegularity float64
+	// BranchTakenProb is the taken probability of irregular branches.
+	BranchTakenProb float64
+	// BranchSites is the number of static branch PCs; 0 defaults to 16.
+	BranchSites int
+
+	// SyscallFaultProb is the probability a syscall raises a page fault.
+	SyscallFaultProb float64
+}
+
+func (p *Phase) validate(i int) error {
+	sum := p.LoadFrac + p.StoreFrac + p.BranchFrac + p.SyscallFrac
+	if p.LoadFrac < 0 || p.StoreFrac < 0 || p.BranchFrac < 0 || p.SyscallFrac < 0 || sum > 1+1e-9 {
+		return fmt.Errorf("workload: phase %d mix invalid (sum %v)", i, sum)
+	}
+	if p.Weight <= 0 {
+		return fmt.Errorf("workload: phase %d weight %v not positive", i, p.Weight)
+	}
+	if (p.LoadFrac > 0 || p.StoreFrac > 0) && p.LoadPattern == nil && p.StorePattern == nil {
+		return fmt.Errorf("workload: phase %d has memory work but no pattern", i)
+	}
+	if p.BranchRegularity < 0 || p.BranchRegularity > 1 {
+		return fmt.Errorf("workload: phase %d branch regularity %v out of [0,1]", i, p.BranchRegularity)
+	}
+	if p.BranchTakenProb < 0 || p.BranchTakenProb > 1 {
+		return fmt.Errorf("workload: phase %d taken prob %v out of [0,1]", i, p.BranchTakenProb)
+	}
+	if p.SyscallFaultProb < 0 || p.SyscallFaultProb > 1 {
+		return fmt.Errorf("workload: phase %d fault prob %v out of [0,1]", i, p.SyscallFaultProb)
+	}
+	return nil
+}
+
+// Spec is a complete workload description.
+type Spec struct {
+	// Name identifies the workload within its suite.
+	Name string
+	// Instructions is the dynamic instruction budget.
+	Instructions uint64
+	// Seed makes the workload deterministic.
+	Seed uint64
+	// BaseOffset shifts every memory region of the workload by a fixed
+	// amount. Zero for ordinary runs; multicore rate-style execution gives
+	// each process clone a distinct offset so their footprints are
+	// private (separate address spaces).
+	BaseOffset uint64
+	// Phases run in order, splitting Instructions by Weight.
+	Phases []Phase
+}
+
+// Validate checks the spec without compiling it.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec has no name")
+	}
+	if s.Instructions == 0 {
+		return fmt.Errorf("workload: spec %q has zero instructions", s.Name)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("workload: spec %q has no phases", s.Name)
+	}
+	for i := range s.Phases {
+		if err := s.Phases[i].validate(i); err != nil {
+			return fmt.Errorf("%w (spec %q)", err, s.Name)
+		}
+	}
+	return nil
+}
+
+// Program is a compiled Spec implementing uarch.Program.
+type Program struct {
+	spec   Spec
+	phases []compiledPhase
+	bounds []uint64 // cumulative instruction boundary per phase
+	pos    uint64
+	cur    int
+}
+
+type compiledPhase struct {
+	p         *Phase
+	loadGen   AddrGen
+	storeGen  AddrGen
+	src       *rng.Source
+	branchPCs []uint64
+	branchCnt []uint32
+	branchPer []uint32
+	// cumulative kind thresholds in [0,1): load, store, branch, syscall
+	tLoad, tStore, tBranch, tSyscall float64
+}
+
+// Compile validates a spec and builds its deterministic Program. Each
+// phase gets an independent RNG stream and its own address-space region,
+// so phase order changes never alias working sets.
+func Compile(spec Spec) (*Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	prog := &Program{spec: spec}
+
+	totalW := 0.0
+	for i := range spec.Phases {
+		totalW += spec.Phases[i].Weight
+	}
+
+	// Region layout: phases are placed end to end with a guard gap.
+	const guard = 1 << 21 // 2 MiB between regions
+	base := uint64(1)<<33 + spec.BaseOffset
+	var cum uint64
+	for i := range spec.Phases {
+		ph := &spec.Phases[i]
+		src := rng.New(rng.ChildSeed(spec.Seed, i))
+		cp := compiledPhase{p: ph, src: src}
+
+		if ph.LoadPattern != nil || ph.StorePattern != nil {
+			loadSpec := ph.LoadPattern
+			if loadSpec == nil {
+				loadSpec = ph.StorePattern
+			}
+			storeSpec := ph.StorePattern
+			if storeSpec == nil {
+				storeSpec = ph.LoadPattern
+			}
+			var err error
+			cp.loadGen, err = loadSpec.Instantiate(base, src.Split())
+			if err != nil {
+				return nil, fmt.Errorf("workload: spec %q phase %d load pattern: %w", spec.Name, i, err)
+			}
+			sharedRegion := loadSpec == storeSpec ||
+				(ph.LoadPattern != nil && ph.StorePattern == nil) ||
+				(ph.LoadPattern == nil && ph.StorePattern != nil)
+			storeBase := base
+			if !sharedRegion {
+				storeBase = base + loadSpec.Footprint() + guard
+			}
+			cp.storeGen, err = storeSpec.Instantiate(storeBase, src.Split())
+			if err != nil {
+				return nil, fmt.Errorf("workload: spec %q phase %d store pattern: %w", spec.Name, i, err)
+			}
+			base = storeBase + storeSpec.Footprint() + guard
+		}
+
+		sites := ph.BranchSites
+		if sites <= 0 {
+			sites = 16
+		}
+		cp.branchPCs = make([]uint64, sites)
+		cp.branchCnt = make([]uint32, sites)
+		cp.branchPer = make([]uint32, sites)
+		for s := 0; s < sites; s++ {
+			cp.branchPCs[s] = 0x400000 + uint64(i)<<16 + uint64(s)*4
+			// Loop periods between 4 and 35, deterministic per site.
+			cp.branchPer[s] = uint32(4 + (s*7)%32)
+		}
+
+		cp.tLoad = ph.LoadFrac
+		cp.tStore = cp.tLoad + ph.StoreFrac
+		cp.tBranch = cp.tStore + ph.BranchFrac
+		cp.tSyscall = cp.tBranch + ph.SyscallFrac
+
+		prog.phases = append(prog.phases, cp)
+
+		share := ph.Weight / totalW
+		cum += uint64(share * float64(spec.Instructions))
+		prog.bounds = append(prog.bounds, cum)
+	}
+	// Absorb rounding into the final phase.
+	prog.bounds[len(prog.bounds)-1] = spec.Instructions
+	return prog, nil
+}
+
+// Name implements uarch.Program.
+func (pr *Program) Name() string { return pr.spec.Name }
+
+// Reset implements uarch.Program by recompiling the generators from the
+// original spec, restoring the exact initial stream.
+func (pr *Program) Reset() {
+	fresh, err := Compile(pr.spec)
+	if err != nil {
+		// Compile succeeded once with the same spec; a failure here is a
+		// programming error.
+		panic(fmt.Sprintf("workload: Reset recompile failed: %v", err))
+	}
+	*pr = *fresh
+}
+
+// Next implements uarch.Program.
+func (pr *Program) Next(in *uarch.Instr) bool {
+	if pr.pos >= pr.spec.Instructions {
+		return false
+	}
+	for pr.pos >= pr.bounds[pr.cur] {
+		pr.cur++
+	}
+	cp := &pr.phases[pr.cur]
+	pr.pos++
+
+	// Overwrite every field: callers reuse the same Instr across calls.
+	*in = uarch.Instr{}
+	r := cp.src.Float64()
+	switch {
+	case r < cp.tLoad:
+		in.Kind = uarch.Load
+		in.Addr = cp.loadGen.Next()
+	case r < cp.tStore:
+		in.Kind = uarch.Store
+		in.Addr = cp.storeGen.Next()
+	case r < cp.tBranch:
+		in.Kind = uarch.Branch
+		site := cp.src.Intn(len(cp.branchPCs))
+		in.PC = cp.branchPCs[site]
+		if cp.src.Bool(cp.p.BranchRegularity) {
+			// Loop-style pattern: taken except every period-th execution.
+			cp.branchCnt[site]++
+			in.Taken = cp.branchCnt[site]%cp.branchPer[site] != 0
+		} else {
+			in.Taken = cp.src.Bool(cp.p.BranchTakenProb)
+		}
+	case r < cp.tSyscall:
+		in.Kind = uarch.Syscall
+		in.Fault = cp.src.Bool(cp.p.SyscallFaultProb)
+	default:
+		in.Kind = uarch.ALU
+	}
+	return true
+}
+
+// PhaseCount returns the number of phases.
+func (pr *Program) PhaseCount() int { return len(pr.phases) }
+
+// Spec returns a copy of the program's spec.
+func (pr *Program) Spec() Spec { return pr.spec }

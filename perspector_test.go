@@ -1,0 +1,479 @@
+package perspector_test
+
+import (
+	"strings"
+	"testing"
+
+	"perspector"
+)
+
+// fastConfig keeps API tests quick.
+func fastConfig() perspector.Config {
+	cfg := perspector.DefaultConfig()
+	cfg.Instructions = 20_000
+	cfg.Samples = 20
+	return cfg
+}
+
+func TestStockSuites(t *testing.T) {
+	suites := perspector.StockSuites(fastConfig())
+	if len(suites) != 6 {
+		t.Fatalf("expected 6 stock suites, got %d", len(suites))
+	}
+	want := []string{"parsec", "spec17", "ligra", "lmbench", "nbench", "sgxgauge"}
+	for i, s := range suites {
+		if s.Name != want[i] {
+			t.Fatalf("suite %d is %q, want %q", i, s.Name, want[i])
+		}
+		if len(s.Specs) == 0 {
+			t.Fatalf("suite %q is empty", s.Name)
+		}
+	}
+}
+
+func TestSuiteByName(t *testing.T) {
+	s, err := perspector.SuiteByName("nbench", fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "nbench" {
+		t.Fatalf("name %q", s.Name)
+	}
+	if _, err := perspector.SuiteByName("nope", fastConfig()); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}
+
+func TestMeasureAndScore(t *testing.T) {
+	cfg := fastConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := perspector.Score(m, perspector.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores.Suite != "nbench" {
+		t.Fatalf("scores.Suite = %q", scores.Suite)
+	}
+	if scores.Coverage < 0 || scores.Spread < 0 || scores.Spread > 1 {
+		t.Fatalf("implausible scores: %+v", scores)
+	}
+}
+
+func TestCompareJointNormalization(t *testing.T) {
+	cfg := fastConfig()
+	var ms []*perspector.Measurement
+	for _, name := range []string{"nbench", "sgxgauge"} {
+		s, err := perspector.SuiteByName(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := perspector.Measure(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	scores, err := perspector.Compare(ms, perspector.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("got %d score sets", len(scores))
+	}
+	// SGXGauge (real-world, big footprints) must out-cover Nbench
+	// (tiny steady kernels) under shared normalization.
+	if scores[1].Coverage <= scores[0].Coverage {
+		t.Fatalf("sgxgauge coverage %v not above nbench %v",
+			scores[1].Coverage, scores[0].Coverage)
+	}
+}
+
+func TestEventGroups(t *testing.T) {
+	all, err := perspector.EventGroup("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 14 {
+		t.Fatalf("all group has %d counters", len(all))
+	}
+	llc, err := perspector.EventGroup("llc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(llc) != 4 {
+		t.Fatalf("llc group has %d counters", len(llc))
+	}
+	if _, err := perspector.EventGroup("bogus"); err == nil {
+		t.Fatal("bogus group accepted")
+	}
+}
+
+func TestFocusedScoring(t *testing.T) {
+	cfg := fastConfig()
+	s, err := perspector.SuiteByName("sgxgauge", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsAll := perspector.DefaultOptions()
+	optsLLC := perspector.DefaultOptions()
+	optsLLC.Counters, err = perspector.EventGroup("llc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := perspector.Score(m, optsAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := perspector.Score(m, optsLLC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == l {
+		t.Fatal("focused scoring identical to full scoring")
+	}
+}
+
+func TestCustomSuite(t *testing.T) {
+	cfg := fastConfig()
+	workloads := []perspector.Workload{
+		{
+			Name: "stream", Instructions: cfg.Instructions, Seed: 1,
+			Phases: []perspector.Phase{{
+				Name: "sweep", Weight: 1, LoadFrac: 0.5,
+				LoadPattern: perspector.Sequential{WorkingSet: 1 << 24},
+			}},
+		},
+		{
+			Name: "chase", Instructions: cfg.Instructions, Seed: 2,
+			Phases: []perspector.Phase{{
+				Name: "walk", Weight: 1, LoadFrac: 0.5,
+				LoadPattern: perspector.PointerChase{WorkingSet: 1 << 22},
+			}},
+		},
+		{
+			Name: "branchy", Instructions: cfg.Instructions, Seed: 3,
+			Phases: []perspector.Phase{{
+				Name: "spin", Weight: 1, BranchFrac: 0.4,
+				BranchRegularity: 0.2, BranchTakenProb: 0.5,
+			}},
+		},
+	}
+	s, err := perspector.NewSuite("custom", workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perspector.Score(m, perspector.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSuiteValidation(t *testing.T) {
+	if _, err := perspector.NewSuite("", nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := perspector.NewSuite("x", nil); err == nil {
+		t.Fatal("no workloads accepted")
+	}
+	bad := []perspector.Workload{{Name: "w"}} // zero instructions
+	if _, err := perspector.NewSuite("x", bad); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestGenerateSubset(t *testing.T) {
+	cfg := fastConfig()
+	s, err := perspector.SuiteByName("spec17", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := perspector.GenerateSubset(m, perspector.DefaultOptions(),
+		perspector.DefaultSubsetOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 8 {
+		t.Fatalf("subset size %d", len(res.Names))
+	}
+	for _, n := range res.Names {
+		if !strings.HasPrefix(n, "spec17.") {
+			t.Fatalf("foreign workload %q in subset", n)
+		}
+	}
+}
+
+func TestDetectPhasesAPI(t *testing.T) {
+	series := make([]float64, 60)
+	for i := range series {
+		if i < 30 {
+			series[i] = 5
+		} else {
+			series[i] = 500
+		}
+	}
+	changes, err := perspector.DetectPhases(series, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 {
+		t.Fatalf("detected %d changes", len(changes))
+	}
+}
+
+func TestHierarchicalBaselineAPI(t *testing.T) {
+	cfg := fastConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := perspector.HierarchicalBaseline(m, perspector.DefaultOptions(),
+		perspector.AverageLinkage, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 || len(res.Labels) != len(m.Workloads) {
+		t.Fatalf("baseline result %+v", res)
+	}
+	if res.Silhouette < -1 || res.Silhouette > 1 {
+		t.Fatalf("silhouette %v out of range", res.Silhouette)
+	}
+	if len(res.Representatives) != 3 {
+		t.Fatalf("representatives %v", res.Representatives)
+	}
+	seen := map[int]bool{}
+	for _, r := range res.Representatives {
+		if r < 0 || r >= len(m.Workloads) || seen[r] {
+			t.Fatalf("bad representative set %v", res.Representatives)
+		}
+		seen[r] = true
+	}
+}
+
+func TestProfilePhasesAPI(t *testing.T) {
+	cfg := fastConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := perspector.ProfilePhases(m, perspector.DefaultOptions(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Boundaries) != len(m.Workloads) {
+		t.Fatalf("boundaries %v", prof.Boundaries)
+	}
+	for _, b := range prof.Boundaries {
+		if b < 0 {
+			t.Fatalf("negative boundary count %d", b)
+		}
+	}
+}
+
+func TestScoreStabilityAPI(t *testing.T) {
+	cfg := fastConfig()
+	var runs []*perspector.Measurement
+	for r := 0; r < 3; r++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(r)
+		s, err := perspector.SuiteByName("nbench", runCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := perspector.Measure(s, runCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, m)
+	}
+	st, err := perspector.ScoreStability(runs, perspector.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 3 {
+		t.Fatalf("runs = %d", st.Runs)
+	}
+	rel := st.RelativeStdDev()
+	// Different seeds = different random inputs; still the same suite, so
+	// relative spread should be bounded.
+	if rel.Cluster > 0.6 || rel.Coverage > 0.6 {
+		t.Fatalf("implausible instability: %+v", rel)
+	}
+}
+
+func TestCalibrateAPI(t *testing.T) {
+	cfg := fastConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := perspector.Calibrate(s, cfg, 1_000_000, 1_000, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Specs) != len(s.Specs) {
+		t.Fatal("calibration changed workload count")
+	}
+	changed := false
+	for i := range cal.Specs {
+		if cal.Specs[i].Instructions != s.Specs[i].Instructions {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("calibration changed nothing")
+	}
+}
+
+func TestCounterRedundancyAPI(t *testing.T) {
+	cfg := fastConfig()
+	s, err := perspector.SuiteByName("spec17", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := perspector.CounterRedundancy(m, perspector.DefaultOptions(), 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.R < -1 || p.R > 1 {
+			t.Fatalf("correlation out of range: %+v", p)
+		}
+		if p.A == p.B {
+			t.Fatalf("self-pair: %+v", p)
+		}
+	}
+}
+
+func TestImportExportAPI(t *testing.T) {
+	cfg := fastConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := perspector.ExportJSON(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := perspector.ImportJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := perspector.Score(m, perspector.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := perspector.Score(back, perspector.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("scores changed across export/import: %+v vs %+v", a, b)
+	}
+}
+
+func TestAugmentAPI(t *testing.T) {
+	cfg := fastConfig()
+	base, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := perspector.SuiteByName("sgxgauge", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseMeas, err := perspector.Measure(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolMeas, err := perspector.Measure(pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := perspector.Augment(baseMeas, poolMeas, perspector.DefaultOptions(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aug.Names) != 2 || len(aug.Trace) != 3 {
+		t.Fatalf("augmentation %+v", aug)
+	}
+	for _, n := range aug.Names {
+		if !strings.HasPrefix(n, "sgxgauge.") {
+			t.Fatalf("candidate %q not from the pool", n)
+		}
+	}
+	// Greedy optimality of the first pick: no single candidate beats the
+	// chosen one under the default objective. (Coverage alone need not
+	// rise: own-bounds renormalization is not monotone under additions.)
+	objective := func(s perspector.Scores) float64 {
+		return 4*s.Coverage + s.Trend/100 - s.Cluster - s.Spread/2
+	}
+	best := objective(aug.Trace[1])
+	for i := range poolMeas.Workloads {
+		trial := &perspector.Measurement{Suite: baseMeas.Suite}
+		trial.Workloads = append(trial.Workloads, baseMeas.Workloads...)
+		trial.Workloads = append(trial.Workloads, poolMeas.Workloads[i])
+		s, err := perspector.Score(trial, perspector.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if objective(s) > best+1e-9 {
+			t.Fatalf("candidate %d beats the greedy pick: %.4f > %.4f",
+				i, objective(s), best)
+		}
+	}
+}
+
+func TestMeasureDeterministicAcrossCalls(t *testing.T) {
+	cfg := fastConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Workloads {
+		if a.Workloads[i].Totals != b.Workloads[i].Totals {
+			t.Fatal("Measure not deterministic")
+		}
+	}
+}
