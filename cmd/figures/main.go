@@ -25,8 +25,10 @@ import (
 	"strings"
 
 	"perspector"
+	"perspector/internal/cache"
 	"perspector/internal/core"
 	"perspector/internal/figdata"
+	"perspector/internal/par"
 )
 
 func main() {
@@ -39,6 +41,10 @@ func main() {
 		samples   = flag.Int("samples", 100, "PMU samples per workload")
 		seed      = flag.Uint64("seed", 2023, "master seed")
 		csvDir    = flag.String("csv", "", "also write each figure's data as CSV into this directory")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all CPUs); results are identical at any count")
+		cacheDir  = flag.String("cache-dir", "", "measurement cache directory (empty = no cache)")
+		noCache   = flag.Bool("no-cache", false, "disable the measurement cache even if -cache-dir is set")
+		verbose   = flag.Bool("v", false, "print worker count and cache statistics on stderr")
 	)
 	flag.Parse()
 
@@ -47,12 +53,28 @@ func main() {
 	cfg.Samples = *samples
 	cfg.Seed = *seed
 
+	if *workers != 0 {
+		perspector.SetWorkers(*workers)
+	}
+	var store *cache.Store
+	if *cacheDir != "" && !*noCache {
+		var err error
+		if store, err = cache.Open(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
-	r := &runner{cfg: cfg, csvDir: *csvDir}
+	r := &runner{cfg: cfg, csvDir: *csvDir, store: store}
+	if *verbose {
+		defer func() {
+			fmt.Fprintf(os.Stderr, "workers: %d\n", perspector.Workers())
+			fmt.Fprintln(os.Stderr, store.Stats())
+		}()
+	}
 	switch {
 	case *all:
 		for _, f := range []string{"1", "2", "3a", "3b", "3c", "4", "5", "6"} {
@@ -86,10 +108,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// runner caches the (expensive) suite measurements across figures.
+// runner caches the (expensive) suite measurements across figures, both
+// in memory (across figures of one invocation) and, when -cache-dir is
+// set, on disk (across invocations).
 type runner struct {
 	cfg    perspector.Config
 	csvDir string
+	store  *cache.Store // nil = disk cache disabled
 	meas   []*perspector.Measurement
 }
 
@@ -116,11 +141,20 @@ func (r *runner) writeCSV(name string, rows [][]string) error {
 
 func (r *runner) measurements() ([]*perspector.Measurement, error) {
 	if r.meas == nil {
-		m, err := perspector.MeasureAll(r.cfg)
-		if err != nil {
-			return nil, err
+		// Per-suite fan-out through the on-disk cache; results keep paper
+		// order, so downstream scores match perspector.MeasureAll exactly.
+		all := perspector.StockSuites(r.cfg)
+		ms := make([]*perspector.Measurement, len(all))
+		errs := make([]error, len(all))
+		par.Do(len(all), func(_, i int) {
+			ms[i], errs[i] = r.store.Measure(all[i], r.cfg)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
-		r.meas = m
+		r.meas = ms
 	}
 	return r.meas, nil
 }
@@ -350,19 +384,22 @@ func (r *runner) stability() error {
 	fmt.Printf("%-10s %16s %16s %18s %16s\n", "suite",
 		"cluster", "trend", "coverage", "spread")
 	for _, name := range []string{"parsec", "spec17", "ligra", "lmbench", "nbench", "sgxgauge"} {
-		var runs []*perspector.Measurement
-		for sd := 0; sd < seeds; sd++ {
+		runs := make([]*perspector.Measurement, seeds)
+		errs := make([]error, seeds)
+		par.Do(seeds, func(_, sd int) {
 			cfg := r.cfg
 			cfg.Seed = r.cfg.Seed + uint64(sd)
 			s, err := perspector.SuiteByName(name, cfg)
 			if err != nil {
-				return err
+				errs[sd] = err
+				return
 			}
-			m, err := perspector.Measure(s, cfg)
+			runs[sd], errs[sd] = r.store.Measure(s, cfg)
+		})
+		for _, err := range errs {
 			if err != nil {
 				return err
 			}
-			runs = append(runs, m)
 		}
 		st, err := core.ScoreStability(runs, perspector.DefaultOptions())
 		if err != nil {

@@ -47,7 +47,9 @@ import (
 	"strings"
 
 	"perspector"
+	"perspector/internal/cache"
 	"perspector/internal/core"
+	"perspector/internal/par"
 	"perspector/internal/perf"
 )
 
@@ -119,10 +121,14 @@ run "perspector <command> -h" for command flags`)
 
 // commonFlags registers the shared simulation flags on a FlagSet.
 type commonFlags struct {
-	instr   uint64
-	samples int
-	seed    uint64
-	group   string
+	instr    uint64
+	samples  int
+	seed     uint64
+	group    string
+	workers  int
+	cacheDir string
+	noCache  bool
+	verbose  bool
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -131,6 +137,10 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.samples, "samples", 100, "PMU samples per workload")
 	fs.Uint64Var(&c.seed, "seed", 2023, "master seed")
 	fs.StringVar(&c.group, "group", "all", "event group: all, llc, tlb")
+	fs.IntVar(&c.workers, "workers", 0, "parallel workers (0 = all CPUs); results are identical at any count")
+	fs.StringVar(&c.cacheDir, "cache-dir", "", "measurement cache directory (empty = no cache)")
+	fs.BoolVar(&c.noCache, "no-cache", false, "disable the measurement cache even if -cache-dir is set")
+	fs.BoolVar(&c.verbose, "v", false, "verbose: worker count and cache statistics on stderr")
 	return c
 }
 
@@ -140,6 +150,48 @@ func (c *commonFlags) config() perspector.Config {
 	cfg.Samples = c.samples
 	cfg.Seed = c.seed
 	return cfg
+}
+
+// setup applies the worker bound and opens the measurement cache.
+// A nil store (no -cache-dir, or -no-cache) passes measurements straight
+// through to the simulator.
+func (c *commonFlags) setup() (*cache.Store, error) {
+	if c.workers != 0 {
+		perspector.SetWorkers(c.workers)
+	}
+	if c.noCache || c.cacheDir == "" {
+		return nil, nil
+	}
+	return cache.Open(c.cacheDir)
+}
+
+// measure runs one suite through the cache (or directly when disabled).
+func (c *commonFlags) measure(st *cache.Store, s perspector.Suite, cfg perspector.Config) (*perspector.Measurement, error) {
+	return st.Measure(s, cfg)
+}
+
+// report prints worker/cache statistics to stderr under -v.
+func (c *commonFlags) report(st *cache.Store) {
+	if !c.verbose {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "workers: %d\n", perspector.Workers())
+	fmt.Fprintln(os.Stderr, st.Stats())
+}
+
+// measureSuite applies the worker/cache flags, measures one named suite
+// (through the cache when enabled), and prints -v statistics.
+func (c *commonFlags) measureSuite(name string, cfg perspector.Config) (*perspector.Measurement, error) {
+	st, err := c.setup()
+	if err != nil {
+		return nil, err
+	}
+	defer c.report(st)
+	s, err := perspector.SuiteByName(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.measure(st, s, cfg)
 }
 
 func (c *commonFlags) options() (perspector.Options, error) {
@@ -155,7 +207,6 @@ func (c *commonFlags) options() (perspector.Options, error) {
 func runList(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	common := addCommon(fs)
-	verbose := fs.Bool("v", false, "list every workload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -163,7 +214,7 @@ func runList(args []string) error {
 	fmt.Fprintln(stdout, "suites:")
 	for _, s := range perspector.StockSuites(cfg) {
 		fmt.Fprintf(stdout, "  %-10s %2d workloads  %s\n", s.Name, len(s.Specs), s.Description)
-		if *verbose {
+		if common.verbose {
 			for _, w := range s.Specs {
 				fmt.Fprintf(stdout, "      %s\n", w.Name)
 			}
@@ -196,12 +247,17 @@ func runScore(args []string) error {
 	if err != nil {
 		return err
 	}
+	store, err := common.setup()
+	if err != nil {
+		return err
+	}
+	defer common.report(store)
 	if *repeat == 1 {
 		s, err := perspector.SuiteByName(*suite, cfg)
 		if err != nil {
 			return err
 		}
-		m, err := perspector.Measure(s, cfg)
+		m, err := common.measure(store, s, cfg)
 		if err != nil {
 			return err
 		}
@@ -213,19 +269,24 @@ func runScore(args []string) error {
 		printScoreRow(scores)
 		return nil
 	}
-	var runs []*perspector.Measurement
-	for r := 0; r < *repeat; r++ {
+	// The repeats are independent simulations under different seeds: fan
+	// them out, keeping seed order in the results.
+	runs := make([]*perspector.Measurement, *repeat)
+	errs := make([]error, *repeat)
+	par.Do(*repeat, func(_, r int) {
 		runCfg := cfg
 		runCfg.Seed = cfg.Seed + uint64(r)
 		s, err := perspector.SuiteByName(*suite, runCfg)
 		if err != nil {
-			return err
+			errs[r] = err
+			return
 		}
-		m, err := perspector.Measure(s, runCfg)
+		runs[r], errs[r] = common.measure(store, s, runCfg)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
-		runs = append(runs, m)
 	}
 	st, err := perspector.ScoreStability(runs, opts)
 	if err != nil {
@@ -249,24 +310,37 @@ func runCompare(args []string) error {
 		return err
 	}
 	cfg := common.config()
-	var ms []*perspector.Measurement
-	for _, name := range strings.Split(*list, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		s, err := perspector.SuiteByName(name, cfg)
-		if err != nil {
-			return err
-		}
-		m, err := perspector.Measure(s, cfg)
-		if err != nil {
-			return err
-		}
-		ms = append(ms, m)
+	store, err := common.setup()
+	if err != nil {
+		return err
 	}
-	if len(ms) == 0 {
+	defer common.report(store)
+	var names []string
+	for _, name := range strings.Split(*list, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
 		return fmt.Errorf("compare: no suites given")
+	}
+	// Per-suite fan-out: each task measures (or cache-loads) one suite
+	// into its own slot; suite order and scores are identical to the
+	// serial loop.
+	ms := make([]*perspector.Measurement, len(names))
+	errs := make([]error, len(names))
+	par.Do(len(names), func(_, i int) {
+		s, err := perspector.SuiteByName(names[i], cfg)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ms[i], errs[i] = common.measure(store, s, cfg)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	opts, err := common.options()
 	if err != nil {
@@ -322,7 +396,7 @@ func runSubset(args []string) error {
 	if err != nil {
 		return err
 	}
-	m, err := perspector.Measure(s, cfg)
+	m, err := common.measureSuite(*suite, cfg)
 	if err != nil {
 		return err
 	}
@@ -365,11 +439,7 @@ func runDump(args []string) error {
 		return fmt.Errorf("dump: -suite is required")
 	}
 	cfg := common.config()
-	s, err := perspector.SuiteByName(*suite, cfg)
-	if err != nil {
-		return err
-	}
-	m, err := perspector.Measure(s, cfg)
+	m, err := common.measureSuite(*suite, cfg)
 	if err != nil {
 		return err
 	}
@@ -408,11 +478,7 @@ func runPhases(args []string) error {
 		return fmt.Errorf("phases: -suite and -workload are required")
 	}
 	cfg := common.config()
-	s, err := perspector.SuiteByName(*suite, cfg)
-	if err != nil {
-		return err
-	}
-	m, err := perspector.Measure(s, cfg)
+	m, err := common.measureSuite(*suite, cfg)
 	if err != nil {
 		return err
 	}
@@ -455,11 +521,7 @@ func runExport(args []string) error {
 		return fmt.Errorf("export: -suite is required")
 	}
 	cfg := common.config()
-	s, err := perspector.SuiteByName(*suite, cfg)
-	if err != nil {
-		return err
-	}
-	m, err := perspector.Measure(s, cfg)
+	m, err := common.measureSuite(*suite, cfg)
 	if err != nil {
 		return err
 	}
@@ -552,11 +614,7 @@ func runRedundancy(args []string) error {
 		return fmt.Errorf("redundancy: -suite is required")
 	}
 	cfg := common.config()
-	s, err := perspector.SuiteByName(*suite, cfg)
-	if err != nil {
-		return err
-	}
-	m, err := perspector.Measure(s, cfg)
+	m, err := common.measureSuite(*suite, cfg)
 	if err != nil {
 		return err
 	}
@@ -593,11 +651,7 @@ func runProfile(args []string) error {
 		return fmt.Errorf("profile: -suite is required")
 	}
 	cfg := common.config()
-	s, err := perspector.SuiteByName(*suite, cfg)
-	if err != nil {
-		return err
-	}
-	m, err := perspector.Measure(s, cfg)
+	m, err := common.measureSuite(*suite, cfg)
 	if err != nil {
 		return err
 	}
@@ -642,11 +696,7 @@ func runBaseline(args []string) error {
 		return fmt.Errorf("baseline: unknown linkage %q", *linkageName)
 	}
 	cfg := common.config()
-	s, err := perspector.SuiteByName(*suite, cfg)
-	if err != nil {
-		return err
-	}
-	m, err := perspector.Measure(s, cfg)
+	m, err := common.measureSuite(*suite, cfg)
 	if err != nil {
 		return err
 	}

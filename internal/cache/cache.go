@@ -1,0 +1,180 @@
+// Package cache is a content-addressed on-disk cache for suite
+// measurements. Simulating a suite is the dominant cost of every CLI
+// invocation (score, compare, subset, figures); because the simulator is
+// fully deterministic, a measurement is a pure function of the suite
+// definition and the simulation config — so it can be keyed by a hash of
+// those inputs and reused across processes.
+//
+// # Key scheme
+//
+// Key hashes (SHA-256) the canonical rendering of everything the
+// measurement depends on:
+//
+//   - a schema version (bump SchemaVersion whenever the simulator,
+//     workload models, or trace format change semantically — that is the
+//     only invalidation rule besides deleting the directory),
+//   - the suite name and every workload spec (name, instruction budget,
+//     phase list with all pattern parameters),
+//   - the config: instruction budget, sample count, master seed,
+//   - the full machine configuration (cache geometry, TLB, predictor,
+//     prefetcher, latencies — a microarchitectural change must miss).
+//
+// Entries are stored as <dir>/<hex key>.json in the trace JSON format,
+// which round-trips float64 series bit-exactly (encoding/json emits the
+// shortest representation that parses back to the same bits), so scores
+// computed from a warm cache are bit-identical to a cold run — enforced
+// by TestScoreDeterminismColdVsWarmCache.
+//
+// A nil *Store is a valid pass-through: Get always misses and Put is a
+// no-op, which lets callers thread one variable through -no-cache paths.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"perspector/internal/perf"
+	"perspector/internal/suites"
+	"perspector/internal/trace"
+)
+
+// SchemaVersion invalidates every existing entry when bumped. It must
+// change whenever the simulator, the workload models, or the trace
+// format change the bytes a measurement serializes to.
+const SchemaVersion = 1
+
+// Store is an on-disk measurement cache rooted at one directory.
+type Store struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// Open returns a Store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Key returns the content hash identifying the measurement of suite s
+// under cfg. Everything that can change a single counter value is folded
+// into the hash; see the package comment for the scheme.
+func Key(s suites.Suite, cfg suites.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d\nsuite=%s\ninstr=%d\nsamples=%d\nseed=%d\n",
+		SchemaVersion, s.Name, cfg.Instructions, cfg.Samples, cfg.Seed)
+	// %+v renders nested structs and interface values (the access-pattern
+	// specs) with field names, deterministically: no maps or pointers are
+	// involved anywhere in Config or Spec.
+	fmt.Fprintf(h, "machine=%+v\n", cfg.Machine)
+	for i := range s.Specs {
+		fmt.Fprintf(h, "spec[%d]=%+v\n", i, s.Specs[i])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path returns the entry file for a key.
+func (st *Store) path(key string) string {
+	return filepath.Join(st.dir, key+".json")
+}
+
+// Get returns the cached measurement for key, or (nil, false) on a miss.
+// Unreadable or corrupt entries count as misses and are removed.
+func (st *Store) Get(key string) (*perf.SuiteMeasurement, bool) {
+	if st == nil {
+		return nil, false
+	}
+	f, err := os.Open(st.path(key))
+	if err != nil {
+		st.misses.Add(1)
+		return nil, false
+	}
+	defer f.Close()
+	m, err := trace.ReadJSON(f)
+	if err != nil {
+		// A torn or stale-schema entry: drop it so the slot heals.
+		os.Remove(st.path(key))
+		st.misses.Add(1)
+		return nil, false
+	}
+	st.hits.Add(1)
+	return m, true
+}
+
+// Put stores a measurement under key. The entry is written to a temp
+// file and renamed, so concurrent readers never observe a torn entry.
+func (st *Store) Put(key string, m *perf.SuiteMeasurement) error {
+	if st == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(st.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := trace.WriteJSON(tmp, m); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Measure returns the measurement of suite s under cfg, from cache when
+// warm, else by simulating via suites.Run and filling the cache. On a
+// nil Store it degenerates to suites.Run.
+func (st *Store) Measure(s suites.Suite, cfg suites.Config) (*perf.SuiteMeasurement, error) {
+	if st == nil {
+		return suites.Run(s, cfg)
+	}
+	key := Key(s, cfg)
+	if m, ok := st.Get(key); ok {
+		return m, nil
+	}
+	m, err := suites.Run(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Put(key, m); err != nil {
+		// A full disk must not fail the measurement itself.
+		return m, nil
+	}
+	return m, nil
+}
+
+// Hits returns the number of cache hits since Open.
+func (st *Store) Hits() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.hits.Load()
+}
+
+// Misses returns the number of cache misses since Open.
+func (st *Store) Misses() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.misses.Load()
+}
+
+// Stats formats the hit/miss counters for verbose CLI output.
+func (st *Store) Stats() string {
+	if st == nil {
+		return "cache disabled"
+	}
+	return fmt.Sprintf("cache: %d hits, %d misses (%s)", st.Hits(), st.Misses(), st.dir)
+}

@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"perspector/internal/suites"
+)
+
+func smallConfig() suites.Config {
+	cfg := suites.DefaultConfig()
+	cfg.Instructions = 20_000
+	cfg.Samples = 10
+	return cfg
+}
+
+func TestKeyIsStableAndSensitive(t *testing.T) {
+	cfg := smallConfig()
+	s := suites.Nbench(cfg)
+	base := Key(s, cfg)
+	if base != Key(suites.Nbench(cfg), cfg) {
+		t.Fatal("key not deterministic for identical inputs")
+	}
+
+	seeded := cfg
+	seeded.Seed++
+	if Key(suites.Nbench(seeded), seeded) == base {
+		t.Fatal("seed change did not change the key")
+	}
+	sampled := cfg
+	sampled.Samples++
+	if Key(suites.Nbench(sampled), sampled) == base {
+		t.Fatal("sample-count change did not change the key")
+	}
+	machined := cfg
+	machined.Machine.NextLinePrefetch = !machined.Machine.NextLinePrefetch
+	if Key(suites.Nbench(machined), machined) == base {
+		t.Fatal("machine-config change did not change the key")
+	}
+	if Key(suites.LMbench(cfg), cfg) == base {
+		t.Fatal("different suite did not change the key")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	s := suites.Nbench(cfg)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := st.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits() != 0 || st.Misses() != 1 {
+		t.Fatalf("cold run: hits=%d misses=%d", st.Hits(), st.Misses())
+	}
+	warm, err := st.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits() != 1 {
+		t.Fatalf("warm run did not hit: hits=%d misses=%d", st.Hits(), st.Misses())
+	}
+	if warm.Suite != cold.Suite || len(warm.Workloads) != len(cold.Workloads) {
+		t.Fatal("warm measurement shape differs")
+	}
+	for i := range cold.Workloads {
+		cw, ww := &cold.Workloads[i], &warm.Workloads[i]
+		if cw.Workload != ww.Workload || cw.Totals != ww.Totals {
+			t.Fatalf("workload %d totals differ after round trip", i)
+		}
+		for c := range cw.Series.Samples {
+			if !reflect.DeepEqual(cw.Series.Samples[c], ww.Series.Samples[c]) {
+				t.Fatalf("workload %d counter %d series not bit-identical", i, c)
+			}
+		}
+	}
+}
+
+func TestCorruptEntryHealsAsMiss(t *testing.T) {
+	cfg := smallConfig()
+	s := suites.Nbench(cfg)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(s, cfg)
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(key); ok {
+		t.Fatal("corrupt entry served as hit")
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	// The slot heals: a Measure fills it and the next Get hits.
+	if _, err := st.Measure(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(key); !ok {
+		t.Fatal("healed entry did not hit")
+	}
+}
+
+func TestNilStorePassThrough(t *testing.T) {
+	var st *Store
+	cfg := smallConfig()
+	m, err := st.Measure(suites.Nbench(cfg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || len(m.Workloads) == 0 {
+		t.Fatal("nil store did not measure")
+	}
+	if _, ok := st.Get("abc"); ok {
+		t.Fatal("nil store hit")
+	}
+	if err := st.Put("abc", m); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats() != "cache disabled" {
+		t.Fatalf("nil stats = %q", st.Stats())
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

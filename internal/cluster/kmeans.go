@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"perspector/internal/mat"
+	"perspector/internal/par"
 	"perspector/internal/rng"
 )
 
@@ -54,11 +55,23 @@ func KMeans(x *mat.Matrix, k int, opts KMeansOptions) (*KMeansResult, error) {
 	if opts.MaxIter <= 0 || opts.Restarts <= 0 {
 		return nil, fmt.Errorf("cluster: KMeans needs positive MaxIter and Restarts")
 	}
+	// Pre-split one child source per restart, exactly as the serial loop
+	// would have (Split is a pure function of parent state), then run the
+	// restarts in parallel and reduce in restart order: the winner is the
+	// earliest restart with the minimal inertia, bit-identical to the
+	// serial "replace only on strictly lower" scan at any worker count.
 	src := rng.New(opts.Seed)
-	var best *KMeansResult
-	for r := 0; r < opts.Restarts; r++ {
-		res := kmeansOnce(x, k, opts, src.Split())
-		if best == nil || res.Inertia < best.Inertia {
+	srcs := make([]*rng.Source, opts.Restarts)
+	for r := range srcs {
+		srcs[r] = src.Split()
+	}
+	results := make([]*KMeansResult, opts.Restarts)
+	par.Do(opts.Restarts, func(_, r int) {
+		results[r] = kmeansOnce(x, k, opts, srcs[r])
+	})
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.Inertia < best.Inertia {
 			best = res
 		}
 	}

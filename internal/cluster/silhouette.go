@@ -4,7 +4,31 @@ import (
 	"fmt"
 
 	"perspector/internal/mat"
+	"perspector/internal/par"
 )
+
+// DistanceMatrix returns the full n×n Euclidean distance matrix of the
+// rows of x, computed once so that consumers sweeping over many
+// clusterings of the same points (the ClusterScore's k in [2, n−1]) stop
+// redoing the O(n²) distance work per call. Rows are filled in parallel;
+// every entry is written exactly once, so the result is deterministic.
+func DistanceMatrix(x *mat.Matrix) [][]float64 {
+	n := x.Rows()
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	// Row i computes its upper-triangle tail; the mirror write to
+	// dist[j][i] targets a distinct cell, so rows are independent.
+	par.Do(n, func(_, i int) {
+		for j := i + 1; j < n; j++ {
+			d := mat.Dist(x.RowView(i), x.RowView(j))
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	})
+	return dist
+}
 
 // Silhouette computes the paper's Eq. 1–5 exactly:
 //
@@ -20,8 +44,20 @@ import (
 //
 // labels must assign every point to a cluster in [0,k); every cluster index
 // must be non-empty.
+//
+// Silhouette recomputes the pairwise distances on every call; sweeps over
+// k should build the matrix once with DistanceMatrix and call
+// SilhouetteDist.
 func Silhouette(x *mat.Matrix, labels []int, k int) (float64, error) {
-	n := x.Rows()
+	return SilhouetteDist(DistanceMatrix(x), labels, k)
+}
+
+// SilhouetteDist is Silhouette on a precomputed pairwise distance matrix
+// (e.g. from DistanceMatrix): dist[i][j] is the distance between points i
+// and j. This is the form the over-k sweep uses so the O(n²) distance
+// work happens once per sweep instead of once per k.
+func SilhouetteDist(dist [][]float64, labels []int, k int) (float64, error) {
+	n := len(dist)
 	if len(labels) != n {
 		return 0, fmt.Errorf("cluster: Silhouette got %d labels for %d points", len(labels), n)
 	}
@@ -42,19 +78,6 @@ func Silhouette(x *mat.Matrix, labels []int, k int) (float64, error) {
 	for c, m := range members {
 		if len(m) == 0 {
 			return 0, fmt.Errorf("cluster: cluster %d is empty", c)
-		}
-	}
-
-	// Pairwise distances, computed once.
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := mat.Dist(x.RowView(i), x.RowView(j))
-			dist[i][j] = d
-			dist[j][i] = d
 		}
 	}
 

@@ -10,6 +10,7 @@ import (
 	"perspector/internal/cluster"
 	"perspector/internal/dtw"
 	"perspector/internal/mat"
+	"perspector/internal/par"
 	"perspector/internal/pca"
 	"perspector/internal/perf"
 	"perspector/internal/rng"
@@ -129,20 +130,36 @@ func ClusterScore(sm *perf.SuiteMeasurement, opts Options) (float64, error) {
 		return 0, nil
 	}
 	x := normalizeColumns(matrixFor(sm, opts.Counters))
-	sum, count := 0.0, 0
-	for k := 2; k <= n-1; k++ {
+	// One O(n²) distance matrix serves every silhouette of the sweep.
+	dist := cluster.DistanceMatrix(x)
+	ks := n - 2 // k in [2, n-1]
+	sils := make([]float64, ks)
+	errs := make([]error, ks)
+	par.Do(ks, func(_, i int) {
+		k := i + 2
 		km := cluster.DefaultKMeansOptions(rng.ChildSeed(opts.KMeansSeed, k))
 		km.Restarts = opts.KMeansRestarts
 		res, err := cluster.KMeans(x, k, km)
 		if err != nil {
-			return 0, fmt.Errorf("core: ClusterScore k=%d: %w", k, err)
+			errs[i] = fmt.Errorf("core: ClusterScore k=%d: %w", k, err)
+			return
 		}
 		// k-means can return fewer than k distinct labels only via the
 		// empty-cluster repair, which guarantees non-empty clusters; the
 		// silhouette is computed over exactly k clusters.
-		s, err := cluster.Silhouette(x, res.Labels, k)
+		s, err := cluster.SilhouetteDist(dist, res.Labels, k)
 		if err != nil {
-			return 0, fmt.Errorf("core: ClusterScore silhouette k=%d: %w", k, err)
+			errs[i] = fmt.Errorf("core: ClusterScore silhouette k=%d: %w", k, err)
+			return
+		}
+		sils[i] = s
+	})
+	// Ordered reduction: the sum accumulates in k order exactly as the
+	// serial loop did, so the score is bit-identical at any worker count.
+	sum, count := 0.0, 0
+	for i, s := range sils {
+		if errs[i] != nil {
+			return 0, errs[i]
 		}
 		sum += s
 		count++
@@ -163,15 +180,37 @@ func TrendScore(sm *perf.SuiteMeasurement, opts Options) (float64, error) {
 	if n < 2 {
 		return 0, nil
 	}
+	// Enumerate the unordered pairs once, in the lexicographic order of
+	// the serial double loop; the parallel gather below reduces in this
+	// order, so the sum never reassociates.
+	pairs := make([][2]int, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	// Per-worker reusable DP scratch: the O(W²) DTW loop allocates
+	// nothing per pair.
+	scratch := make([]*dtw.Distancer, par.Workers())
+	worker := func(w int) *dtw.Distancer {
+		if scratch[w] == nil {
+			scratch[w] = dtw.NewDistancer()
+		}
+		return scratch[w]
+	}
+
 	total := 0.0
 	for _, c := range opts.Counters {
 		series := sm.SeriesFor(c)
 		// Normalize once per workload, dropping warmup samples first.
 		norm := make([][]float64, n)
-		for i, s := range series {
+		normErrs := make([]error, n)
+		par.Do(n, func(w, i int) {
+			s := series[i]
 			if len(s) == 0 {
-				return 0, fmt.Errorf("core: TrendScore: workload %q has no samples for %v",
+				normErrs[i] = fmt.Errorf("core: TrendScore: workload %q has no samples for %v",
 					sm.Workloads[i].Workload, c)
+				return
 			}
 			drop := int(opts.WarmupFrac * float64(len(s)))
 			if drop >= len(s) {
@@ -180,24 +219,40 @@ func TrendScore(sm *perf.SuiteMeasurement, opts Options) (float64, error) {
 			if opts.TrendValueCDF {
 				norm[i] = dtw.NormalizeSeriesValueCDF(s[drop:], opts.DTWGrid)
 			} else {
-				norm[i] = dtw.NormalizeSeries(s[drop:], opts.DTWGrid)
+				norm[i] = worker(w).NormalizeSeries(s[drop:], opts.DTWGrid)
+			}
+		})
+		for _, err := range normErrs {
+			if err != nil {
+				return 0, err
 			}
 		}
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				var d float64
-				var err error
-				if opts.DTWBand > 0 {
-					d, err = dtw.DistanceBanded(norm[i], norm[j], opts.DTWBand)
-					if err != nil {
-						return 0, fmt.Errorf("core: TrendScore DTW: %w", err)
-					}
-				} else {
-					d = dtw.Distance(norm[i], norm[j])
+
+		dists := make([]float64, len(pairs))
+		var dtwErrs []error
+		if opts.DTWBand > 0 {
+			dtwErrs = make([]error, len(pairs))
+		}
+		par.Do(len(pairs), func(w, p int) {
+			i, j := pairs[p][0], pairs[p][1]
+			dz := worker(w)
+			if opts.DTWBand > 0 {
+				d, err := dz.DistanceBanded(norm[i], norm[j], opts.DTWBand)
+				if err != nil {
+					dtwErrs[p] = fmt.Errorf("core: TrendScore DTW: %w", err)
+					return
 				}
-				sum += 2 * d // Eq. 7 sums ordered pairs; DTW is symmetric
+				dists[p] = d
+			} else {
+				dists[p] = dz.Distance(norm[i], norm[j])
 			}
+		})
+		sum := 0.0
+		for p, d := range dists {
+			if dtwErrs != nil && dtwErrs[p] != nil {
+				return 0, dtwErrs[p]
+			}
+			sum += 2 * d // Eq. 7 sums ordered pairs; DTW is symmetric
 		}
 		total += sum / float64(n*(n-1))
 	}
@@ -260,10 +315,12 @@ func JointNormalize(xs []*mat.Matrix) ([]*mat.Matrix, error) {
 			return nil, fmt.Errorf("core: JointNormalize with empty matrix")
 		}
 	}
-	// Global bounds per counter (Eq. 9).
+	// Global bounds per counter (Eq. 9). Columns are independent, so the
+	// bound scan fans out per column; each task writes only its own
+	// mins[j]/maxs[j] slot.
 	mins := make([]float64, m)
 	maxs := make([]float64, m)
-	for j := 0; j < m; j++ {
+	par.Do(m, func(_, j int) {
 		first := true
 		for _, x := range xs {
 			for i := 0; i < x.Rows(); i++ {
@@ -277,9 +334,11 @@ func JointNormalize(xs []*mat.Matrix) ([]*mat.Matrix, error) {
 				first = false
 			}
 		}
-	}
+	})
+	// Normalization pass: one task per suite, each writing its own out[k].
 	out := make([]*mat.Matrix, len(xs))
-	for k, x := range xs {
+	par.Do(len(xs), func(_, k int) {
+		x := xs[k]
 		nx := mat.New(x.Rows(), m)
 		for j := 0; j < m; j++ {
 			col := stat.NormalizeWith(x.Col(j), mins[j], maxs[j])
@@ -288,7 +347,7 @@ func JointNormalize(xs []*mat.Matrix) ([]*mat.Matrix, error) {
 			}
 		}
 		out[k] = nx
-	}
+	})
 	return out, nil
 }
 
@@ -311,25 +370,40 @@ func ScoreSuites(sms []*perf.SuiteMeasurement, opts Options) ([]Scores, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-suite fan-out: every suite's four scores are independent of the
+	// others once the joint bounds are fixed, and each score is itself
+	// deterministic, so out[i] is the same at any worker count. The first
+	// error in suite order is returned, matching the serial loop.
 	out := make([]Scores, len(sms))
-	for i, sm := range sms {
+	errs := make([]error, len(sms))
+	par.Do(len(sms), func(_, i int) {
+		sm := sms[i]
 		cs, err := ClusterScore(sm, opts)
 		if err != nil {
-			return nil, fmt.Errorf("suite %q: %w", sm.Suite, err)
+			errs[i] = fmt.Errorf("suite %q: %w", sm.Suite, err)
+			return
 		}
 		ts, err := TrendScore(sm, opts)
 		if err != nil {
-			return nil, fmt.Errorf("suite %q: %w", sm.Suite, err)
+			errs[i] = fmt.Errorf("suite %q: %w", sm.Suite, err)
+			return
 		}
 		cov, err := CoverageScore(normed[i], opts)
 		if err != nil {
-			return nil, fmt.Errorf("suite %q: %w", sm.Suite, err)
+			errs[i] = fmt.Errorf("suite %q: %w", sm.Suite, err)
+			return
 		}
 		sp, err := SpreadScore(normed[i], opts)
 		if err != nil {
-			return nil, fmt.Errorf("suite %q: %w", sm.Suite, err)
+			errs[i] = fmt.Errorf("suite %q: %w", sm.Suite, err)
+			return
 		}
 		out[i] = Scores{Suite: sm.Suite, Cluster: cs, Trend: ts, Coverage: cov, Spread: sp}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -9,19 +9,50 @@ package dtw
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"perspector/internal/stat"
 )
+
+// Distancer computes DTW distances with reusable DP scratch buffers, so
+// the O(W²) pairwise loops of the TrendScore allocate nothing per pair.
+// It also applies an exactness-preserving pruned dynamic program (after
+// Silva & Batista's PrunedDTW): the cost of one cheap monotone warping
+// path upper-bounds the distance, and any DP cell whose cumulative cost
+// exceeds that bound can never lie on the optimal path, so whole runs of
+// columns are skipped. Results are bit-identical to the full DP — the
+// surviving cells see exactly the same additions in the same order.
+//
+// A Distancer is not safe for concurrent use; parallel callers keep one
+// per worker.
+type Distancer struct {
+	prev, cur []float64
+	cum       []float64 // NormalizeSeries scratch
+}
+
+// NewDistancer returns an empty Distancer; buffers grow on first use.
+func NewDistancer() *Distancer { return &Distancer{} }
+
+// rows returns the two DP rows sized for m+1 columns.
+func (dz *Distancer) rows(m int) (prev, cur []float64) {
+	if cap(dz.prev) < m+1 {
+		dz.prev = make([]float64, m+1)
+		dz.cur = make([]float64, m+1)
+	}
+	return dz.prev[:m+1], dz.cur[:m+1]
+}
+
+// pool backs the package-level convenience functions so one-shot callers
+// still reuse scratch across calls.
+var pool = sync.Pool{New: func() any { return NewDistancer() }}
 
 // Distance returns the classic DTW distance between two series using
 // absolute difference as the local cost and the full dynamic program.
 // It panics if either series is empty.
 func Distance(a, b []float64) float64 {
-	d, err := DistanceBanded(a, b, 0)
-	if err != nil {
-		panic(err)
-	}
-	return d
+	dz := pool.Get().(*Distancer)
+	defer pool.Put(dz)
+	return dz.Distance(a, b)
 }
 
 // DistanceBanded returns the DTW distance constrained to a Sakoe–Chiba band
@@ -30,6 +61,25 @@ func Distance(a, b []float64) float64 {
 // means "no constraint" when band <= 0. It returns an error when a series
 // is empty or when the band is too narrow to admit any warping path.
 func DistanceBanded(a, b []float64, band int) (float64, error) {
+	dz := pool.Get().(*Distancer)
+	defer pool.Put(dz)
+	return dz.DistanceBanded(a, b, band)
+}
+
+// Distance is DistanceBanded with no band; it panics if either series is
+// empty.
+func (dz *Distancer) Distance(a, b []float64) float64 {
+	d, err := dz.DistanceBanded(a, b, 0)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// DistanceBanded computes the (optionally Sakoe–Chiba-banded) DTW
+// distance on the Distancer's reusable buffers. Semantics match the
+// package-level DistanceBanded exactly.
+func (dz *Distancer) DistanceBanded(a, b []float64, band int) (float64, error) {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return 0, fmt.Errorf("dtw: empty series (lengths %d, %d)", n, m)
@@ -38,52 +88,232 @@ func DistanceBanded(a, b []float64, band int) (float64, error) {
 	if !unbounded && band < abs(n-m) {
 		return 0, fmt.Errorf("dtw: band %d narrower than length difference %d", band, abs(n-m))
 	}
+	if unbounded {
+		return dz.pruned(a, b), nil
+	}
+	d := dz.banded(a, b, band)
+	// With a band, Inf means the band admitted no warping path.
+	if math.IsInf(d, 1) {
+		return 0, fmt.Errorf("dtw: band %d admits no warping path for lengths %d, %d", band, n, m)
+	}
+	return d, nil
+}
 
-	// Two-row DP to keep memory at O(m).
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+// banded is the Sakoe–Chiba DP on the reusable buffers; it returns +Inf
+// when the band admits no warping path. Because every in-band cell
+// minimizes over a subset of the full DP's predecessors, and float
+// addition of a non-negative cost is monotone in its operand, each banded
+// cell value dominates the corresponding full-DP value — so the result is
+// also a valid upper bound for the pruned unbanded DP.
+func (dz *Distancer) banded(a, b []float64, band int) float64 {
+	n, m := len(a), len(b)
+	inf := math.Inf(1)
+	prev, cur := dz.rows(m)
+	prev[0] = 0
+	// Only in-band cells are ever touched, so each row costs O(band), not
+	// O(m). [ps,pe] tracks the previous row's written window; reads
+	// outside it hit stale buffer contents and are guarded to Inf, which
+	// is exactly the value the Inf-filled full-width DP would hold there.
+	ps, pe := 0, 0
+	for i := 1; i <= n; i++ {
+		lo, hi := 1, m
+		// Scale the band to handle unequal lengths (standard practice).
+		center := i * m / n
+		if lo < center-band {
+			lo = center - band
+		}
+		if hi > center+band {
+			hi = center + band
+		}
+		cur[lo-1] = inf // left edge of the in-row deletion chain
+		for j := lo; j <= hi; j++ {
+			best := inf
+			if j-1 >= ps && j-1 <= pe {
+				best = prev[j-1] // match
+			}
+			if j >= ps && j <= pe && prev[j] < best {
+				best = prev[j] // insertion
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = math.Abs(a[i-1]-b[j-1]) + best
+		}
+		ps, pe = lo, hi
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// upperBound returns the cheaper of two O(n+m) single-path costs: the
+// diagonal-then-edge path and a greedy min-local-cost walk. Each is a
+// valid monotone warping path accumulated front to back, which is exactly
+// the sequential float sum the DP computes for that path, so either cost
+// upper-bounds the DP's minimum under the same rounding. The greedy walk
+// tracks x-shifted series (where the diagonal is loose) closely, which is
+// what makes the pruned DP's alive band narrow.
+func upperBound(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	i, j := 0, 0
+	diag := math.Abs(a[0] - b[0])
+	for i < n-1 || j < m-1 {
+		if i < n-1 {
+			i++
+		}
+		if j < m-1 {
+			j++
+		}
+		diag += math.Abs(a[i] - b[j])
+	}
+
+	i, j = 0, 0
+	greedy := math.Abs(a[0] - b[0])
+	for i < n-1 || j < m-1 {
+		switch {
+		case i == n-1:
+			j++
+		case j == m-1:
+			i++
+		default:
+			down := math.Abs(a[i+1] - b[j])
+			right := math.Abs(a[i] - b[j+1])
+			d := math.Abs(a[i+1] - b[j+1])
+			if d <= down && d <= right {
+				i, j = i+1, j+1
+			} else if down <= right {
+				i++
+			} else {
+				j++
+			}
+		}
+		greedy += math.Abs(a[i] - b[j])
+	}
+	if greedy < diag {
+		return greedy
+	}
+	return diag
+}
+
+// pruned is the unbanded DP with upper-bound pruning. Invariant: a cell
+// whose full-DP value is <= ub gets exactly the full-DP value (its
+// minimizing predecessor is also <= ub, hence alive and exact by
+// induction); cells above ub may be skipped or inflated but can never
+// supply the minimum of an alive cell. The final cell's value is <= ub,
+// so the result is bit-identical to the full DP.
+func (dz *Distancer) pruned(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	ub := upperBound(a, b)
+	prev, cur := dz.rows(m)
+	inf := math.Inf(1)
+	prev[0] = 0
+	// [ps,pe] spans the previous row's alive (<= ub) cells; all prev reads
+	// below stay inside it, so the buffers need no Inf pre-fill. Each row
+	// splits into guard-free regions so the hot middle loop matches the
+	// classic DP's cost per cell.
+	ps, pe := 0, 0
+	for i := 1; i <= n; i++ {
+		ai := a[i-1]
+		start := ps
+		if start < 1 {
+			start = 1
+		}
+		cur[start-1] = inf
+		nps, npe := -1, -1
+		j := start
+		// Left edge j == ps: prev[ps-1] is outside the window and the
+		// in-row chain starts at Inf, so the only predecessor is prev[ps]
+		// (the window's first cell, alive hence finite).
+		if ps >= 1 {
+			v := math.Abs(ai-b[ps-1]) + prev[ps]
+			cur[ps] = v
+			if v <= ub {
+				nps, npe = ps, ps
+			}
+			j = ps + 1
+		}
+		// Tight middle j in [ps+1, pe]: all three predecessors are inside
+		// the window — no guards.
+		for ; j <= pe; j++ {
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			v := math.Abs(ai-b[j-1]) + best
+			cur[j] = v
+			if v <= ub {
+				if nps < 0 {
+					nps = j
+				}
+				npe = j
+			}
+		}
+		// Right edge j == pe+1: prev[pe+1] is outside the window.
+		if j == pe+1 && j <= m {
+			best := prev[j-1]
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			v := math.Abs(ai-b[j-1]) + best
+			cur[j] = v
+			if v <= ub {
+				if nps < 0 {
+					nps = j
+				}
+				npe = j
+			}
+			j++
+		}
+		// Dead tail j > pe+1: no prev-row predecessor; the row stays
+		// alive only through the in-row chain, and ends when it dies.
+		for ; j <= m && cur[j-1] <= ub; j++ {
+			v := math.Abs(ai-b[j-1]) + cur[j-1]
+			cur[j] = v
+			if v <= ub {
+				if nps < 0 {
+					nps = j
+				}
+				npe = j
+			}
+		}
+		if nps < 0 {
+			// Unreachable for a finite valid upper bound (the optimal
+			// path crosses every row at cost <= ub); degrade safely on
+			// pathological inputs (NaNs) by running the full DP.
+			return dz.full(a, b)
+		}
+		ps, pe = nps, npe
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// full is the classic unpruned, unbanded DP on the reusable buffers.
+func (dz *Distancer) full(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	prev, cur := dz.rows(m)
 	for j := range prev {
 		prev[j] = math.Inf(1)
 	}
 	prev[0] = 0
 	for i := 1; i <= n; i++ {
 		cur[0] = math.Inf(1)
-		lo, hi := 1, m
-		if !unbounded {
-			// Scale the band to handle unequal lengths (standard practice).
-			center := i * m / n
-			if lo < center-band {
-				lo = center - band
-			}
-			if hi > center+band {
-				hi = center + band
-			}
-		}
 		for j := 1; j <= m; j++ {
-			if j < lo || j > hi {
-				cur[j] = math.Inf(1)
-				continue
-			}
 			cost := math.Abs(a[i-1] - b[j-1])
-			best := prev[j] // insertion
+			best := prev[j]
 			if prev[j-1] < best {
-				best = prev[j-1] // match
+				best = prev[j-1]
 			}
 			if cur[j-1] < best {
-				best = cur[j-1] // deletion
+				best = cur[j-1]
 			}
 			cur[j] = cost + best
 		}
 		prev, cur = cur, prev
 	}
-	d := prev[m]
-	// Without a band every cell is reachable, so an infinite result can only
-	// come from float overflow in the local cost — pass it through. With a
-	// band, Inf means the band admitted no warping path.
-	if !unbounded && math.IsInf(d, 1) {
-		return 0, fmt.Errorf("dtw: band %d admits no warping path for lengths %d, %d", band, n, m)
-	}
-	return d, nil
+	return prev[m]
 }
 
 func abs(x int) int {
@@ -172,6 +402,15 @@ func Path(a, b []float64) ([][2]int, float64) {
 // steady" shape), making it indistinguishable from a constant-rate
 // workload — both are phase-free.
 func NormalizeSeries(series []float64, gridPoints int) []float64 {
+	dz := pool.Get().(*Distancer)
+	defer pool.Put(dz)
+	return dz.NormalizeSeries(series, gridPoints)
+}
+
+// NormalizeSeries is the package-level NormalizeSeries on the
+// Distancer's reusable cumulative-sum scratch buffer. The returned grid
+// is always freshly allocated (callers keep it).
+func (dz *Distancer) NormalizeSeries(series []float64, gridPoints int) []float64 {
 	n := len(series)
 	if n == 0 {
 		return make([]float64, gridPoints+1)
@@ -180,7 +419,11 @@ func NormalizeSeries(series []float64, gridPoints int) []float64 {
 	// sits at time fraction i/n exactly; without the anchor, series of
 	// different lengths carry an O(1/n) systematic offset that shows up
 	// as fake DTW distance between identically-shaped workloads.
-	cum := make([]float64, n+1)
+	if cap(dz.cum) < n+1 {
+		dz.cum = make([]float64, n+1)
+	}
+	cum := dz.cum[:n+1]
+	cum[0] = 0
 	total := 0.0
 	for i, v := range series {
 		if v < 0 {
@@ -219,5 +462,7 @@ func NormalizeSeriesValueCDF(series []float64, gridPoints int) []float64 {
 // NormalizedDistance is the TrendScore building block: DTW between two raw
 // series after NormalizeSeries on both, using the given percentile grid.
 func NormalizedDistance(a, b []float64, gridPoints int) float64 {
-	return Distance(NormalizeSeries(a, gridPoints), NormalizeSeries(b, gridPoints))
+	dz := pool.Get().(*Distancer)
+	defer pool.Put(dz)
+	return dz.Distance(dz.NormalizeSeries(a, gridPoints), dz.NormalizeSeries(b, gridPoints))
 }

@@ -1,0 +1,197 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+
+	"perspector/internal/rng"
+)
+
+// randSeries draws a length-n series of values in [0, scale).
+func randSeries(src *rng.Source, n int, scale float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = src.Float64() * scale
+	}
+	return s
+}
+
+func TestDistanceBandedBandExactlyLengthDifference(t *testing.T) {
+	// The tightest legal band: exactly |len(a)-len(b)|. Every row's window
+	// still admits a monotone path, so the call must succeed and
+	// upper-bound the unconstrained distance.
+	src := rng.New(11)
+	for _, lens := range [][2]int{{10, 17}, {17, 10}, {1, 5}, {5, 1}, {3, 3}} {
+		na, nb := lens[0], lens[1]
+		a := randSeries(src, na, 10)
+		b := randSeries(src, nb, 10)
+		band := na - nb
+		if band < 0 {
+			band = -band
+		}
+		if band == 0 {
+			band = 1 // equal lengths: band 0 means "unbounded", use 1
+		}
+		d, err := DistanceBanded(a, b, band)
+		if err != nil {
+			t.Fatalf("lengths %v band %d: %v", lens, band, err)
+		}
+		if full := Distance(a, b); d < full-1e-9 {
+			t.Fatalf("lengths %v: banded %v < full %v", lens, d, full)
+		}
+		// One narrower must be rejected, not silently widened.
+		if band > 1 {
+			if _, err := DistanceBanded(a, b, band-1); err == nil && na != nb {
+				t.Fatalf("lengths %v: band %d accepted", lens, band-1)
+			}
+		}
+	}
+}
+
+func TestDistanceLengthOneSeries(t *testing.T) {
+	// A length-1 series warps against every element of the other: the
+	// distance is the sum of |a0 - b_j|.
+	b := []float64{1, 3, 6, 10}
+	want := 0.0
+	for _, v := range b {
+		want += math.Abs(2 - v)
+	}
+	if d := Distance([]float64{2}, b); d != want {
+		t.Fatalf("[2] vs %v = %v, want %v", b, d, want)
+	}
+	if d := Distance(b, []float64{2}); d != want {
+		t.Fatalf("transposed: %v, want %v", d, want)
+	}
+	if d := Distance([]float64{4}, []float64{7}); d != 3 {
+		t.Fatalf("1x1 distance = %v, want 3", d)
+	}
+	// Banded 1x1 with band 1.
+	if d, err := DistanceBanded([]float64{4}, []float64{7}, 1); err != nil || d != 3 {
+		t.Fatalf("banded 1x1 = %v, %v", d, err)
+	}
+}
+
+// naiveDistance is an independent full-matrix reference implementation.
+func naiveDistance(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, m+1)
+		for j := range dp[i] {
+			dp[i][j] = math.Inf(1)
+		}
+	}
+	dp[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			best := dp[i-1][j]
+			if dp[i-1][j-1] < best {
+				best = dp[i-1][j-1]
+			}
+			if dp[i][j-1] < best {
+				best = dp[i][j-1]
+			}
+			dp[i][j] = math.Abs(a[i-1]-b[j-1]) + best
+		}
+	}
+	return dp[n][m]
+}
+
+func TestPrunedMatchesNaiveBitExact(t *testing.T) {
+	// The pruned DP must be BIT-identical to the reference DP — the
+	// guarantee the parallel TrendScore's determinism rests on. Mix of
+	// near-identical pairs (aggressive pruning) and unrelated ones.
+	src := rng.New(5)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + src.Intn(60)
+		m := 1 + src.Intn(60)
+		a := randSeries(src, n, 100)
+		var b []float64
+		if trial%3 == 0 && m >= n {
+			// Perturbed copy: strong pruning regime.
+			b = append([]float64(nil), a...)
+			for i := range b {
+				b[i] += src.Float64()
+			}
+		} else {
+			b = randSeries(src, m, 100)
+		}
+		got := Distance(a, b)
+		want := naiveDistance(a, b)
+		if got != want {
+			t.Fatalf("trial %d (len %d vs %d): pruned %v != naive %v (diff %g)",
+				trial, len(a), len(b), got, want, got-want)
+		}
+	}
+}
+
+func TestDistancerReuseAcrossShapes(t *testing.T) {
+	// One Distancer across many shapes and bands must match fresh calls:
+	// stale buffer contents must never leak between calls.
+	src := rng.New(9)
+	dz := NewDistancer()
+	for trial := 0; trial < 200; trial++ {
+		a := randSeries(src, 1+src.Intn(40), 50)
+		b := randSeries(src, 1+src.Intn(40), 50)
+		if got, want := dz.Distance(a, b), naiveDistance(a, b); got != want {
+			t.Fatalf("trial %d: reused %v != fresh %v", trial, got, want)
+		}
+		band := abs(len(a)-len(b)) + src.Intn(5) + 1
+		got, err := dz.DistanceBanded(a, b, band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := DistanceBanded(a, b, band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fresh {
+			t.Fatalf("trial %d band %d: reused %v != fresh %v", trial, band, got, fresh)
+		}
+	}
+}
+
+func TestDistancerNormalizeSeriesMatchesPackage(t *testing.T) {
+	src := rng.New(13)
+	dz := NewDistancer()
+	for trial := 0; trial < 50; trial++ {
+		s := randSeries(src, 1+src.Intn(200), 1e6)
+		got := dz.NormalizeSeries(s, 100)
+		want := NormalizeSeries(s, 100)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: grid[%d] %v != %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzBandedVsUnbanded cross-checks the banded DP (with a band wide
+// enough to be unconstraining) against the unbanded pruned DP and the
+// naive reference.
+func FuzzBandedVsUnbanded(f *testing.F) {
+	f.Add(uint64(1), 8, 12)
+	f.Add(uint64(42), 1, 1)
+	f.Add(uint64(7), 30, 5)
+	f.Fuzz(func(t *testing.T, seed uint64, n, m int) {
+		if n < 1 || m < 1 || n > 80 || m > 80 {
+			t.Skip()
+		}
+		src := rng.New(seed)
+		a := randSeries(src, n, 1000)
+		b := randSeries(src, m, 1000)
+		want := naiveDistance(a, b)
+		if got := Distance(a, b); got != want {
+			t.Fatalf("pruned %v != naive %v", got, want)
+		}
+		// A band covering the whole matrix admits every path.
+		huge := n + m
+		got, err := DistanceBanded(a, b, huge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("huge band %v != naive %v", got, want)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(prev) })
+}
+
+func TestWorkersNeverBelowOne(t *testing.T) {
+	withWorkers(t, 0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	if got := SetWorkers(0); got != 3 {
+		t.Fatalf("SetWorkers returned %d, want 3", got)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 7} {
+		withWorkers(t, w)
+		const n = 1000
+		var counts [n]atomic.Int64
+		Do(n, func(_, i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestDoSingleWorkerOrdered(t *testing.T) {
+	withWorkers(t, 1)
+	var got []int
+	Do(5, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("worker id %d with one worker", worker)
+		}
+		got = append(got, i)
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestDoWorkerIDsInRange(t *testing.T) {
+	withWorkers(t, 4)
+	var bad atomic.Bool
+	Do(100, func(worker, _ int) {
+		if worker < 0 || worker >= 4 {
+			bad.Store(true)
+		}
+	})
+	if bad.Load() {
+		t.Fatal("worker id out of [0,4)")
+	}
+}
+
+func TestDoZeroTasks(t *testing.T) {
+	Do(0, func(_, _ int) { t.Fatal("fn called for n=0") })
+}
+
+func TestDoErrReturnsLowestIndexError(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		withWorkers(t, w)
+		err := DoErr(context.Background(), 100, func(_, i int) error {
+			if i == 7 || i == 50 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		// Index 7 fails before 50 is claimed only under serial dispatch,
+		// but the reported error must always be the lowest failing index
+		// among those that ran — and 7 always runs before dispatch stops.
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 7", w, err)
+		}
+	}
+}
+
+func TestDoErrNilOnSuccess(t *testing.T) {
+	withWorkers(t, 4)
+	if err := DoErr(context.Background(), 50, func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoErrStopsClaimingAfterFailure(t *testing.T) {
+	withWorkers(t, 1)
+	ran := 0
+	err := DoErr(context.Background(), 100, func(_, i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if ran != 4 {
+		t.Fatalf("ran %d tasks after failure at index 3", ran)
+	}
+}
+
+func TestDoErrContextCancellation(t *testing.T) {
+	withWorkers(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := DoErr(ctx, 10_000, func(_, i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d)", n)
+	}
+}

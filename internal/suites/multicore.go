@@ -1,10 +1,10 @@
 package suites
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"perspector/internal/par"
 	"perspector/internal/perf"
 	"perspector/internal/rng"
 	"perspector/internal/uarch"
@@ -36,35 +36,15 @@ func RunMulticore(s Suite, cfg Config, threads int) (*perf.SuiteMeasurement, err
 		Workloads: make([]perf.Measurement, len(s.Specs)),
 	}
 
-	type job struct{ idx int }
-	jobs := make(chan job)
-	errs := make(chan error, len(s.Specs))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(s.Specs) {
-		workers = len(s.Specs)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				meas, err := runOneMulticore(s.Specs[j.idx], cfg, threads)
-				if err != nil {
-					errs <- fmt.Errorf("suites: %s/%s: %w", s.Name, s.Specs[j.idx].Name, err)
-					continue
-				}
-				sm.Workloads[j.idx] = *meas
-			}
-		}()
-	}
-	for i := range s.Specs {
-		jobs <- job{idx: i}
-	}
-	close(jobs)
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
+	err := par.DoErr(context.Background(), len(s.Specs), func(_, i int) error {
+		meas, err := runOneMulticore(s.Specs[i], cfg, threads)
+		if err != nil {
+			return fmt.Errorf("suites: %s/%s: %w", s.Name, s.Specs[i].Name, err)
+		}
+		sm.Workloads[i] = *meas
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return sm, nil

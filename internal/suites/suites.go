@@ -11,10 +11,10 @@
 package suites
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"perspector/internal/par"
 	"perspector/internal/perf"
 	"perspector/internal/rng"
 	"perspector/internal/uarch"
@@ -130,36 +130,15 @@ func Run(s Suite, cfg Config) (*perf.SuiteMeasurement, error) {
 		Suite:     s.Name,
 		Workloads: make([]perf.Measurement, len(s.Specs)),
 	}
-
-	type job struct{ idx int }
-	jobs := make(chan job)
-	errs := make(chan error, len(s.Specs))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(s.Specs) {
-		workers = len(s.Specs)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				meas, err := runOne(s.Specs[j.idx], cfg)
-				if err != nil {
-					errs <- fmt.Errorf("suites: %s/%s: %w", s.Name, s.Specs[j.idx].Name, err)
-					continue
-				}
-				sm.Workloads[j.idx] = *meas
-			}
-		}()
-	}
-	for i := range s.Specs {
-		jobs <- job{idx: i}
-	}
-	close(jobs)
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
+	err := par.DoErr(context.Background(), len(s.Specs), func(_, i int) error {
+		meas, err := runOne(s.Specs[i], cfg)
+		if err != nil {
+			return fmt.Errorf("suites: %s/%s: %w", s.Name, s.Specs[i].Name, err)
+		}
+		sm.Workloads[i] = *meas
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return sm, nil
@@ -183,16 +162,21 @@ func runOne(spec workload.Spec, cfg Config) (*perf.Measurement, error) {
 }
 
 // RunAll executes every Table-III suite and returns the measurements in
-// paper order.
+// paper order. Suites fan out in parallel on top of Run's per-workload
+// fan-out; the first error in suite order wins, as in the serial loop.
 func RunAll(cfg Config) ([]*perf.SuiteMeasurement, error) {
 	all := All(cfg)
 	out := make([]*perf.SuiteMeasurement, len(all))
-	for i, s := range all {
-		sm, err := Run(s, cfg)
+	err := par.DoErr(context.Background(), len(all), func(_, i int) error {
+		sm, err := Run(all[i], cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = sm
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -37,6 +37,7 @@ import (
 
 	"perspector/internal/cluster"
 	"perspector/internal/core"
+	"perspector/internal/par"
 	"perspector/internal/perf"
 	"perspector/internal/suites"
 	"perspector/internal/trace"
@@ -132,6 +133,17 @@ func NewSuite(name string, workloads []Workload) (Suite, error) {
 	}
 	return Suite{Name: name, Specs: workloads}, nil
 }
+
+// SetWorkers bounds the library's internal parallelism (measurement
+// fan-out, pairwise DTW, k-means restarts, per-suite scoring) and returns
+// the previous bound. n < 1 resets to runtime.NumCPU. Every result is
+// bit-identical at any worker count — parallel reductions happen in a
+// fixed serial order — so this trades only wall-clock time, never output.
+// The PERSPECTOR_WORKERS environment variable sets the initial bound.
+func SetWorkers(n int) int { return par.SetWorkers(n) }
+
+// Workers reports the current parallelism bound (see SetWorkers).
+func Workers() int { return par.Workers() }
 
 // Measure executes every workload of the suite on the simulator and
 // returns counter totals plus sampled time series. Execution is
