@@ -13,6 +13,9 @@
 // The figure *data* is computed by internal/figdata (unit-tested); this
 // command only renders it as text: score tables for Fig. 3, projected
 // coordinates for Figs. 4/6, and sparkline curves for Figs. 1/5.
+//
+// Measurement flags, caching, -timeout and Ctrl-C handling are the
+// shared internal/cli driver — identical to the perspector command.
 package main
 
 import (
@@ -25,10 +28,8 @@ import (
 	"strings"
 
 	"perspector"
-	"perspector/internal/cache"
-	"perspector/internal/core"
+	"perspector/internal/cli"
 	"perspector/internal/figdata"
-	"perspector/internal/par"
 )
 
 func main() {
@@ -37,69 +38,44 @@ func main() {
 		subset    = flag.Bool("subset", false, "run the §IV-C subset generation experiment")
 		stability = flag.Bool("stability", false, "report score variation across 3 simulation seeds")
 		all       = flag.Bool("all", false, "regenerate everything")
-		instr     = flag.Uint64("instr", 400_000, "instructions per workload")
-		samples   = flag.Int("samples", 100, "PMU samples per workload")
-		seed      = flag.Uint64("seed", 2023, "master seed")
 		csvDir    = flag.String("csv", "", "also write each figure's data as CSV into this directory")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = all CPUs); results are identical at any count")
-		cacheDir  = flag.String("cache-dir", "", "measurement cache directory (empty = no cache)")
-		noCache   = flag.Bool("no-cache", false, "disable the measurement cache even if -cache-dir is set")
-		verbose   = flag.Bool("v", false, "print worker count and cache statistics on stderr")
 	)
+	shared := cli.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := perspector.DefaultConfig()
-	cfg.Instructions = *instr
-	cfg.Samples = *samples
-	cfg.Seed = *seed
-
-	if *workers != 0 {
-		perspector.SetWorkers(*workers)
-	}
-	var store *cache.Store
-	if *cacheDir != "" && !*noCache {
-		var err error
-		if store, err = cache.Open(*cacheDir); err != nil {
-			fatal(err)
-		}
-	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
-	r := &runner{cfg: cfg, csvDir: *csvDir, store: store}
-	if *verbose {
-		defer func() {
-			fmt.Fprintf(os.Stderr, "workers: %d\n", perspector.Workers())
-			fmt.Fprintln(os.Stderr, store.Stats())
-		}()
+	d, err := shared.NewDriver()
+	if err != nil {
+		fatal(err)
 	}
+	r := &runner{d: d, cfg: shared.Config(), csvDir: *csvDir}
 	switch {
 	case *all:
 		for _, f := range []string{"1", "2", "3a", "3b", "3c", "4", "5", "6"} {
-			if err := r.figure(f); err != nil {
-				fatal(err)
+			if err == nil {
+				err = r.figure(f)
 			}
 		}
-		if err := r.subset(); err != nil {
-			fatal(err)
+		if err == nil {
+			err = r.subset()
 		}
 	case *subset:
-		if err := r.subset(); err != nil {
-			fatal(err)
-		}
+		err = r.subset()
 	case *stability:
-		if err := r.stability(); err != nil {
-			fatal(err)
-		}
+		err = r.stability()
 	case *fig != "":
-		if err := r.figure(*fig); err != nil {
-			fatal(err)
-		}
+		err = r.figure(*fig)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	d.Close()
+	if err != nil {
+		fatal(err)
 	}
 }
 
@@ -110,11 +86,11 @@ func fatal(err error) {
 
 // runner caches the (expensive) suite measurements across figures, both
 // in memory (across figures of one invocation) and, when -cache-dir is
-// set, on disk (across invocations).
+// set, on disk through the driver's cache store (across invocations).
 type runner struct {
+	d      *cli.Driver
 	cfg    perspector.Config
 	csvDir string
-	store  *cache.Store // nil = disk cache disabled
 	meas   []*perspector.Measurement
 }
 
@@ -141,18 +117,11 @@ func (r *runner) writeCSV(name string, rows [][]string) error {
 
 func (r *runner) measurements() ([]*perspector.Measurement, error) {
 	if r.meas == nil {
-		// Per-suite fan-out through the on-disk cache; results keep paper
-		// order, so downstream scores match perspector.MeasureAll exactly.
-		all := perspector.StockSuites(r.cfg)
-		ms := make([]*perspector.Measurement, len(all))
-		errs := make([]error, len(all))
-		par.Do(len(all), func(_, i int) {
-			ms[i], errs[i] = r.store.Measure(all[i], r.cfg)
-		})
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+		// Per-suite fan-out through the driver; results keep paper order,
+		// so downstream scores match perspector.MeasureAll exactly.
+		ms, err := r.d.MeasureSuites(perspector.StockSuites(r.cfg))
+		if err != nil {
+			return nil, err
 		}
 		r.meas = ms
 	}
@@ -206,17 +175,15 @@ func (r *runner) fig3(group string) error {
 		return err
 	}
 	opts.Counters = counters
-	scores, err := perspector.Compare(ms, opts)
+	scores, err := perspector.CompareContext(r.d.Context(), ms, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\n=== Fig. 3%s: Perspector scores (%s events) ===\n",
 		map[string]string{"all": "a", "llc": "b", "tlb": "c"}[group], group)
-	fmt.Printf("%-10s %12s %12s %12s %12s\n", "suite",
-		"cluster(↓)", "trend(↑)", "coverage(↑)", "spread(↓)")
+	cli.ScoreHeader(os.Stdout)
 	for _, s := range scores {
-		fmt.Printf("%-10s %12.4f %12.2f %12.5f %12.4f\n",
-			s.Suite, s.Cluster, s.Trend, s.Coverage, s.Spread)
+		cli.ScoreRow(os.Stdout, s)
 	}
 	rows := [][]string{{"suite", "cluster", "trend", "coverage", "spread"}}
 	for _, s := range scores {
@@ -384,24 +351,11 @@ func (r *runner) stability() error {
 	fmt.Printf("%-10s %16s %16s %18s %16s\n", "suite",
 		"cluster", "trend", "coverage", "spread")
 	for _, name := range []string{"parsec", "spec17", "ligra", "lmbench", "nbench", "sgxgauge"} {
-		runs := make([]*perspector.Measurement, seeds)
-		errs := make([]error, seeds)
-		par.Do(seeds, func(_, sd int) {
-			cfg := r.cfg
-			cfg.Seed = r.cfg.Seed + uint64(sd)
-			s, err := perspector.SuiteByName(name, cfg)
-			if err != nil {
-				errs[sd] = err
-				return
-			}
-			runs[sd], errs[sd] = r.store.Measure(s, cfg)
-		})
-		for _, err := range errs {
-			if err != nil {
-				return err
-			}
+		runs, err := r.d.MeasureSeeds(name, seeds)
+		if err != nil {
+			return err
 		}
-		st, err := core.ScoreStability(runs, perspector.DefaultOptions())
+		st, err := perspector.ScoreStability(runs, perspector.DefaultOptions())
 		if err != nil {
 			return err
 		}

@@ -37,6 +37,11 @@
 //	perspector export -suite nbench -o trace.json [-format json|csv]
 //	perspector score-file -f trace.json [-format json|csv] [-name imported]
 //	    Archive measurements and score external (e.g. perf-derived) data.
+//
+// Every measuring subcommand takes -timeout (context deadline) and obeys
+// Ctrl-C: the run context is cancelled, the simulator loops stop within
+// one sample batch, and the command exits non-zero with an error naming
+// the stage and suite that was interrupted.
 package main
 
 import (
@@ -47,10 +52,9 @@ import (
 	"strings"
 
 	"perspector"
-	"perspector/internal/cache"
-	"perspector/internal/core"
-	"perspector/internal/par"
+	"perspector/internal/cli"
 	"perspector/internal/perf"
+	"perspector/internal/source"
 )
 
 // stdout is the destination for command output; tests swap it for a
@@ -119,79 +123,29 @@ commands:
 run "perspector <command> -h" for command flags`)
 }
 
-// commonFlags registers the shared simulation flags on a FlagSet.
+// commonFlags is the shared driver flag block plus the counter group,
+// which only this command exposes.
 type commonFlags struct {
-	instr    uint64
-	samples  int
-	seed     uint64
-	group    string
-	workers  int
-	cacheDir string
-	noCache  bool
-	verbose  bool
+	*cli.Flags
+	group string
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
-	c := &commonFlags{}
-	fs.Uint64Var(&c.instr, "instr", 400_000, "instructions per workload")
-	fs.IntVar(&c.samples, "samples", 100, "PMU samples per workload")
-	fs.Uint64Var(&c.seed, "seed", 2023, "master seed")
+	c := &commonFlags{Flags: cli.AddFlags(fs)}
 	fs.StringVar(&c.group, "group", "all", "event group: all, llc, tlb")
-	fs.IntVar(&c.workers, "workers", 0, "parallel workers (0 = all CPUs); results are identical at any count")
-	fs.StringVar(&c.cacheDir, "cache-dir", "", "measurement cache directory (empty = no cache)")
-	fs.BoolVar(&c.noCache, "no-cache", false, "disable the measurement cache even if -cache-dir is set")
-	fs.BoolVar(&c.verbose, "v", false, "verbose: worker count and cache statistics on stderr")
 	return c
 }
 
-func (c *commonFlags) config() perspector.Config {
-	cfg := perspector.DefaultConfig()
-	cfg.Instructions = c.instr
-	cfg.Samples = c.samples
-	cfg.Seed = c.seed
-	return cfg
-}
-
-// setup applies the worker bound and opens the measurement cache.
-// A nil store (no -cache-dir, or -no-cache) passes measurements straight
-// through to the simulator.
-func (c *commonFlags) setup() (*cache.Store, error) {
-	if c.workers != 0 {
-		perspector.SetWorkers(c.workers)
-	}
-	if c.noCache || c.cacheDir == "" {
-		return nil, nil
-	}
-	return cache.Open(c.cacheDir)
-}
-
-// measure runs one suite through the cache (or directly when disabled).
-func (c *commonFlags) measure(st *cache.Store, s perspector.Suite, cfg perspector.Config) (*perspector.Measurement, error) {
-	return st.Measure(s, cfg)
-}
-
-// report prints worker/cache statistics to stderr under -v.
-func (c *commonFlags) report(st *cache.Store) {
-	if !c.verbose {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "workers: %d\n", perspector.Workers())
-	fmt.Fprintln(os.Stderr, st.Stats())
-}
-
-// measureSuite applies the worker/cache flags, measures one named suite
-// (through the cache when enabled), and prints -v statistics.
-func (c *commonFlags) measureSuite(name string, cfg perspector.Config) (*perspector.Measurement, error) {
-	st, err := c.setup()
+// measureSuite runs one named suite through a fresh driver (worker
+// bound, cache, -timeout/SIGINT context) — for the subcommands that
+// measure once and then post-process without further simulation.
+func (c *commonFlags) measureSuite(name string) (*perspector.Measurement, error) {
+	d, err := c.NewDriver()
 	if err != nil {
 		return nil, err
 	}
-	defer c.report(st)
-	s, err := perspector.SuiteByName(name, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return c.measure(st, s, cfg)
+	defer d.Close()
+	return d.MeasureNamed(name)
 }
 
 func (c *commonFlags) options() (perspector.Options, error) {
@@ -210,11 +164,11 @@ func runList(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := common.config()
+	cfg := common.Config()
 	fmt.Fprintln(stdout, "suites:")
 	for _, s := range perspector.StockSuites(cfg) {
 		fmt.Fprintf(stdout, "  %-10s %2d workloads  %s\n", s.Name, len(s.Specs), s.Description)
-		if common.verbose {
+		if common.Verbose {
 			for _, w := range s.Specs {
 				fmt.Fprintf(stdout, "      %s\n", w.Name)
 			}
@@ -242,51 +196,33 @@ func runScore(args []string) error {
 	if *repeat < 1 {
 		return fmt.Errorf("score: -repeat must be >= 1")
 	}
-	cfg := common.config()
 	opts, err := common.options()
 	if err != nil {
 		return err
 	}
-	store, err := common.setup()
+	d, err := common.NewDriver()
 	if err != nil {
 		return err
 	}
-	defer common.report(store)
+	defer d.Close()
 	if *repeat == 1 {
-		s, err := perspector.SuiteByName(*suite, cfg)
+		m, err := d.MeasureNamed(*suite)
 		if err != nil {
 			return err
 		}
-		m, err := common.measure(store, s, cfg)
+		scores, err := perspector.ScoreContext(d.Context(), m, opts)
 		if err != nil {
 			return err
 		}
-		scores, err := perspector.Score(m, opts)
-		if err != nil {
-			return err
-		}
-		printScoreHeader()
-		printScoreRow(scores)
+		cli.ScoreHeader(stdout)
+		cli.ScoreRow(stdout, scores)
 		return nil
 	}
-	// The repeats are independent simulations under different seeds: fan
-	// them out, keeping seed order in the results.
-	runs := make([]*perspector.Measurement, *repeat)
-	errs := make([]error, *repeat)
-	par.Do(*repeat, func(_, r int) {
-		runCfg := cfg
-		runCfg.Seed = cfg.Seed + uint64(r)
-		s, err := perspector.SuiteByName(*suite, runCfg)
-		if err != nil {
-			errs[r] = err
-			return
-		}
-		runs[r], errs[r] = common.measure(store, s, runCfg)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	// The repeats are independent simulations under different seeds,
+	// fanned out with seed order kept in the results.
+	runs, err := d.MeasureSeeds(*suite, *repeat)
+	if err != nil {
+		return err
 	}
 	st, err := perspector.ScoreStability(runs, opts)
 	if err != nil {
@@ -309,12 +245,6 @@ func runCompare(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := common.config()
-	store, err := common.setup()
-	if err != nil {
-		return err
-	}
-	defer common.report(store)
 	var names []string
 	for _, name := range strings.Split(*list, ",") {
 		if name = strings.TrimSpace(name); name != "" {
@@ -324,35 +254,26 @@ func runCompare(args []string) error {
 	if len(names) == 0 {
 		return fmt.Errorf("compare: no suites given")
 	}
-	// Per-suite fan-out: each task measures (or cache-loads) one suite
-	// into its own slot; suite order and scores are identical to the
-	// serial loop.
-	ms := make([]*perspector.Measurement, len(names))
-	errs := make([]error, len(names))
-	par.Do(len(names), func(_, i int) {
-		s, err := perspector.SuiteByName(names[i], cfg)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		ms[i], errs[i] = common.measure(store, s, cfg)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
 	opts, err := common.options()
 	if err != nil {
 		return err
 	}
-	scores, err := perspector.Compare(ms, opts)
+	d, err := common.NewDriver()
 	if err != nil {
 		return err
 	}
-	printScoreHeader()
+	defer d.Close()
+	ms, err := d.MeasureNames(names)
+	if err != nil {
+		return err
+	}
+	scores, err := perspector.CompareContext(d.Context(), ms, opts)
+	if err != nil {
+		return err
+	}
+	cli.ScoreHeader(stdout)
 	for _, s := range scores {
-		printScoreRow(s)
+		cli.ScoreRow(stdout, s)
 	}
 	if *rank {
 		r, err := perspector.Rank(scores)
@@ -372,16 +293,6 @@ func runCompare(args []string) error {
 	return nil
 }
 
-func printScoreHeader() {
-	fmt.Fprintf(stdout, "%-10s %12s %12s %12s %12s\n", "suite",
-		"cluster(-)", "trend(+)", "coverage(+)", "spread(-)")
-}
-
-func printScoreRow(s perspector.Scores) {
-	fmt.Fprintf(stdout, "%-10s %12.4f %12.2f %12.5f %12.4f\n",
-		s.Suite, s.Cluster, s.Trend, s.Coverage, s.Spread)
-}
-
 func runSubset(args []string) error {
 	fs := flag.NewFlagSet("subset", flag.ExitOnError)
 	common := addCommon(fs)
@@ -391,12 +302,12 @@ func runSubset(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := common.config()
+	cfg := common.Config()
 	s, err := perspector.SuiteByName(*suite, cfg)
 	if err != nil {
 		return err
 	}
-	m, err := common.measureSuite(*suite, cfg)
+	m, err := common.measureSuite(*suite)
 	if err != nil {
 		return err
 	}
@@ -417,13 +328,13 @@ func runSubset(args []string) error {
 		fmt.Fprintln(stdout, "  ", n)
 	}
 	fmt.Fprintln(stdout)
-	printScoreHeader()
+	cli.ScoreHeader(stdout)
 	full := res.Full
 	full.Suite = "full"
 	sub := res.Subset
 	sub.Suite = "subset"
-	printScoreRow(full)
-	printScoreRow(sub)
+	cli.ScoreRow(stdout, full)
+	cli.ScoreRow(stdout, sub)
 	fmt.Fprintf(stdout, "mean relative deviation: %.2f%%\n", 100*res.Deviation)
 	return nil
 }
@@ -438,8 +349,7 @@ func runDump(args []string) error {
 	if *suite == "" {
 		return fmt.Errorf("dump: -suite is required")
 	}
-	cfg := common.config()
-	m, err := common.measureSuite(*suite, cfg)
+	m, err := common.measureSuite(*suite)
 	if err != nil {
 		return err
 	}
@@ -477,8 +387,7 @@ func runPhases(args []string) error {
 	if *suite == "" || *workloadName == "" {
 		return fmt.Errorf("phases: -suite and -workload are required")
 	}
-	cfg := common.config()
-	m, err := common.measureSuite(*suite, cfg)
+	m, err := common.measureSuite(*suite)
 	if err != nil {
 		return err
 	}
@@ -491,7 +400,7 @@ func runPhases(args []string) error {
 			continue
 		}
 		series := w.Series.Series(counter)
-		changes, err := core.DetectPhases(series, *window, *threshold)
+		changes, err := perspector.DetectPhases(series, *window, *threshold)
 		if err != nil {
 			return err
 		}
@@ -520,8 +429,7 @@ func runExport(args []string) error {
 	if *suite == "" {
 		return fmt.Errorf("export: -suite is required")
 	}
-	cfg := common.config()
-	m, err := common.measureSuite(*suite, cfg)
+	m, err := common.measureSuite(*suite)
 	if err != nil {
 		return err
 	}
@@ -560,31 +468,28 @@ func runScoreFile(args []string) error {
 	if *path == "" {
 		return fmt.Errorf("score-file: -f is required")
 	}
-	f, err := os.Open(*path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	var m *perspector.Measurement
-	switch *format {
-	case "json":
-		m, err = perspector.ImportJSON(f)
-	case "csv":
-		m, err = perspector.ImportCSV(f, *suiteName)
-	default:
+	if *format != "json" && *format != "csv" {
 		return fmt.Errorf("score-file: unknown format %q", *format)
-	}
-	if err != nil {
-		return err
 	}
 	opts, err := common.options()
 	if err != nil {
 		return err
 	}
-	// CSV input has no time series: skip the TrendScore rather than fail.
+	d, err := common.NewDriver()
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	src := source.TraceFile{Path: *path, Format: *format, SuiteName: *suiteName}
+	m, err := src.Measure(d.Context(), perspector.Suite{})
+	if err != nil {
+		return err
+	}
+	// CSV input has no time series: the engine's capability check skips
+	// the TrendScore rather than fail; report the three that ran.
 	hasSeries := len(m.Workloads) > 0 && m.Workloads[0].Series.Len() > 0
 	if !hasSeries {
-		x, err := core.ScoreSuiteNoTrend(m, opts)
+		x, err := perspector.ScoreTotalsOnly(m, opts)
 		if err != nil {
 			return err
 		}
@@ -593,12 +498,12 @@ func runScoreFile(args []string) error {
 		fmt.Fprintln(stdout, "(no time-series data in input: TrendScore unavailable)")
 		return nil
 	}
-	scores, err := perspector.Score(m, opts)
+	scores, err := perspector.ScoreContext(d.Context(), m, opts)
 	if err != nil {
 		return err
 	}
-	printScoreHeader()
-	printScoreRow(scores)
+	cli.ScoreHeader(stdout)
+	cli.ScoreRow(stdout, scores)
 	return nil
 }
 
@@ -613,8 +518,7 @@ func runRedundancy(args []string) error {
 	if *suite == "" {
 		return fmt.Errorf("redundancy: -suite is required")
 	}
-	cfg := common.config()
-	m, err := common.measureSuite(*suite, cfg)
+	m, err := common.measureSuite(*suite)
 	if err != nil {
 		return err
 	}
@@ -650,8 +554,7 @@ func runProfile(args []string) error {
 	if *suite == "" {
 		return fmt.Errorf("profile: -suite is required")
 	}
-	cfg := common.config()
-	m, err := common.measureSuite(*suite, cfg)
+	m, err := common.measureSuite(*suite)
 	if err != nil {
 		return err
 	}
@@ -695,8 +598,7 @@ func runBaseline(args []string) error {
 	default:
 		return fmt.Errorf("baseline: unknown linkage %q", *linkageName)
 	}
-	cfg := common.config()
-	m, err := common.measureSuite(*suite, cfg)
+	m, err := common.measureSuite(*suite)
 	if err != nil {
 		return err
 	}

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"perspector/internal/stage"
 )
 
 // capture swaps stdout for a buffer around fn.
@@ -187,6 +190,25 @@ func TestRunExportScoreFileRoundTrip(t *testing.T) {
 	})
 	if !strings.Contains(out, "TrendScore unavailable") {
 		t.Errorf("csv score-file output:\n%s", out)
+	}
+}
+
+// TestRunScoreTimeout drives the -timeout satellite end to end in
+// process: an instruction budget far beyond the deadline must come back
+// as a stage-tagged cancellation error (which main turns into a
+// non-zero exit), not a finished score table.
+func TestRunScoreTimeout(t *testing.T) {
+	err := runScore([]string{"-suite", "parsec", "-instr", "200000000", "-samples", "100",
+		"-timeout", "30ms"})
+	if err == nil {
+		t.Fatal("timed-out score succeeded")
+	}
+	if !stage.Canceled(err) {
+		t.Fatalf("error not recognized as cancellation: %v", err)
+	}
+	var se *stage.Error
+	if !errors.As(err, &se) || se.Stage != stage.Measure {
+		t.Fatalf("error carries no measure-stage tag: %v", err)
 	}
 }
 

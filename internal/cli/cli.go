@@ -1,0 +1,212 @@
+// Package cli is the shared driver behind cmd/perspector and
+// cmd/figures. Both binaries used to wire the same stack by hand —
+// simulation flags, worker bound, on-disk measurement cache, per-suite
+// fan-out, verbose statistics — and the duplication had already started
+// to drift. The driver owns that stack once:
+//
+//	flags → Config → Caching(Simulator) source → par.DoErr fan-out
+//
+// plus the run context: -timeout becomes a context deadline and SIGINT a
+// graceful cancellation, both flowing through every measurement and
+// scoring call, so an interrupted run stops within one sample batch and
+// exits with a stage-tagged error instead of a half-written table.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"perspector/internal/cache"
+	"perspector/internal/metric"
+	"perspector/internal/par"
+	"perspector/internal/perf"
+	"perspector/internal/source"
+	"perspector/internal/suites"
+)
+
+// Flags holds the simulation and execution flags shared by both CLIs.
+type Flags struct {
+	Instr    uint64
+	Samples  int
+	Seed     uint64
+	Workers  int
+	CacheDir string
+	NoCache  bool
+	Timeout  time.Duration
+	Verbose  bool
+}
+
+// AddFlags registers the shared flags on fs and returns the destination
+// struct. Command-specific flags (e.g. -group, -fig) stay with their
+// commands.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.Uint64Var(&f.Instr, "instr", 400_000, "instructions per workload")
+	fs.IntVar(&f.Samples, "samples", 100, "PMU samples per workload")
+	fs.Uint64Var(&f.Seed, "seed", 2023, "master seed")
+	fs.IntVar(&f.Workers, "workers", 0, "parallel workers (0 = all CPUs); results are identical at any count")
+	fs.StringVar(&f.CacheDir, "cache-dir", "", "measurement cache directory (empty = no cache)")
+	fs.BoolVar(&f.NoCache, "no-cache", false, "disable the measurement cache even if -cache-dir is set")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit)")
+	fs.BoolVar(&f.Verbose, "v", false, "verbose: worker count and cache statistics on stderr")
+	return f
+}
+
+// Config builds the simulation config from the flags.
+func (f *Flags) Config() suites.Config {
+	cfg := suites.DefaultConfig()
+	cfg.Instructions = f.Instr
+	cfg.Samples = f.Samples
+	cfg.Seed = f.Seed
+	return cfg
+}
+
+// Driver is one command invocation's execution environment: the applied
+// worker bound, the opened cache store, and the run context carrying the
+// -timeout deadline and SIGINT cancellation.
+type Driver struct {
+	Flags *Flags
+	// Store is the measurement cache; nil when disabled (pass-through).
+	Store *cache.Store
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   context.CancelFunc
+}
+
+// NewDriver applies the worker bound, opens the cache (unless disabled),
+// and builds the run context. Callers must defer Close.
+func (f *Flags) NewDriver() (*Driver, error) {
+	if f.Workers != 0 {
+		par.SetWorkers(f.Workers)
+	}
+	var store *cache.Store
+	if f.CacheDir != "" && !f.NoCache {
+		var err error
+		if store, err = cache.Open(f.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if f.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, f.Timeout)
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	return &Driver{Flags: f, Store: store, ctx: ctx, cancel: cancel, stop: stop}, nil
+}
+
+// Context returns the run context. Pass it to every measurement and
+// scoring call so -timeout and Ctrl-C reach the simulator loops.
+func (d *Driver) Context() context.Context { return d.ctx }
+
+// Close releases the signal registration and the timeout timer and, under
+// -v, prints worker/cache statistics to stderr.
+func (d *Driver) Close() {
+	d.stop()
+	d.cancel()
+	if d.Flags.Verbose {
+		fmt.Fprintf(os.Stderr, "workers: %d\n", par.Workers())
+		fmt.Fprintln(os.Stderr, d.Store.Stats())
+	}
+}
+
+// Source returns the measuring source for cfg: the simulator wrapped in
+// the cache decorator (a nil store passes straight through).
+func (d *Driver) Source(cfg suites.Config) source.Source {
+	return source.Caching{Inner: source.Simulator{Cfg: cfg}, Store: d.Store}
+}
+
+// Measure measures one suite under the flag config.
+func (d *Driver) Measure(s suites.Suite) (*perf.SuiteMeasurement, error) {
+	return d.Source(d.Flags.Config()).Measure(d.ctx, s)
+}
+
+// MeasureNamed resolves a stock suite by name and measures it.
+func (d *Driver) MeasureNamed(name string) (*perf.SuiteMeasurement, error) {
+	cfg := d.Flags.Config()
+	s, err := suites.ByName(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return d.Source(cfg).Measure(d.ctx, s)
+}
+
+// MeasureSuites measures several suites in parallel through the cache,
+// keeping input order. The first error in suite order wins, as in a
+// serial loop.
+func (d *Driver) MeasureSuites(ss []suites.Suite) ([]*perf.SuiteMeasurement, error) {
+	cfg := d.Flags.Config()
+	src := d.Source(cfg)
+	ms := make([]*perf.SuiteMeasurement, len(ss))
+	err := par.DoErr(d.ctx, len(ss), func(_, i int) error {
+		m, err := src.Measure(d.ctx, ss[i])
+		if err != nil {
+			return err
+		}
+		ms[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ms, nil
+}
+
+// MeasureNames resolves stock suites by name and measures them in
+// parallel, keeping name order.
+func (d *Driver) MeasureNames(names []string) ([]*perf.SuiteMeasurement, error) {
+	cfg := d.Flags.Config()
+	ss := make([]suites.Suite, len(names))
+	for i, name := range names {
+		s, err := suites.ByName(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ss[i] = s
+	}
+	return d.MeasureSuites(ss)
+}
+
+// MeasureSeeds measures one named suite under n consecutive seeds
+// (Seed, Seed+1, …) — the input of a score-stability analysis. Each seed
+// is an independent simulation with its own cache entry.
+func (d *Driver) MeasureSeeds(name string, n int) ([]*perf.SuiteMeasurement, error) {
+	runs := make([]*perf.SuiteMeasurement, n)
+	err := par.DoErr(d.ctx, n, func(_, r int) error {
+		cfg := d.Flags.Config()
+		cfg.Seed += uint64(r)
+		s, err := suites.ByName(name, cfg)
+		if err != nil {
+			return err
+		}
+		m, err := d.Source(cfg).Measure(d.ctx, s)
+		if err != nil {
+			return err
+		}
+		runs[r] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// ScoreHeader writes the shared four-score table header. The +/- marks
+// the good direction: lower cluster/spread, higher trend/coverage.
+func ScoreHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n", "suite",
+		"cluster(-)", "trend(+)", "coverage(+)", "spread(-)")
+}
+
+// ScoreRow writes one suite's scores under ScoreHeader's columns.
+func ScoreRow(w io.Writer, s metric.Scores) {
+	fmt.Fprintf(w, "%-10s %12.4f %12.2f %12.5f %12.4f\n",
+		s.Suite, s.Cluster, s.Trend, s.Coverage, s.Spread)
+}

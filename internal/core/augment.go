@@ -40,7 +40,7 @@ func DefaultObjective(s Scores) float64 {
 // Scores along the trace are computed in isolation (own-bounds
 // normalization), which is the right frame for iterating on one suite.
 func Augment(base, candidates *perf.SuiteMeasurement, opts Options, k int, objective AugmentObjective) (*Augmentation, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if k < 1 {

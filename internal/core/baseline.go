@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"perspector/internal/cluster"
+	"perspector/internal/metric"
 	"perspector/internal/pca"
 	"perspector/internal/perf"
 )
@@ -38,14 +39,14 @@ type BaselineResult struct {
 // at k clusters. It returns flat labels, the silhouette of the cut, and a
 // representative workload per cluster.
 func HierarchicalBaseline(sm *perf.SuiteMeasurement, opts Options, linkage cluster.Linkage, k int) (*BaselineResult, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(sm.Workloads)
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("core: baseline cut k=%d out of range for %d workloads", k, n)
 	}
-	x := normalizeColumns(matrixFor(sm, opts.Counters))
+	x := metric.NewArtifacts(sm, opts).OwnNorm()
 	res, err := pca.Fit(x, opts.PCAVariance)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline PCA: %w", err)
@@ -126,7 +127,7 @@ type PhaseProfile struct {
 // ProfilePhases runs the phase detector over every workload and counter.
 // window/threshold follow DetectPhases; warmup follows opts.WarmupFrac.
 func ProfilePhases(sm *perf.SuiteMeasurement, opts Options, window int, threshold float64) (*PhaseProfile, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	prof := &PhaseProfile{Boundaries: make([]int, len(sm.Workloads))}

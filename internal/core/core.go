@@ -1,446 +1,74 @@
-// Package core implements Perspector's contribution: the four benchmark
-// suite quality scores of §III (ClusterScore, TrendScore, CoverageScore,
-// SpreadScore), joint-normalization comparison of multiple suites,
-// LHS-based subset generation (§IV-C), and counter-series phase detection.
+// Package core is the analysis layer above the scoring engine: LHS-based
+// subset generation (§IV-C), greedy augmentation, random/affinity
+// baselines, redundancy analysis, ranking, stability, and counter-series
+// phase detection.
+//
+// The four §III suite-quality scores themselves live in internal/metric
+// as registered metrics over shared Artifacts; the identifiers here
+// (Options, Scores, ClusterScore, …) are thin compatibility wrappers kept
+// so existing callers and the public perspector package keep compiling.
+// New code that wants cancellation or a custom metric set should call
+// internal/metric directly.
 package core
 
 import (
-	"fmt"
+	"context"
 
-	"perspector/internal/cluster"
-	"perspector/internal/dtw"
 	"perspector/internal/mat"
-	"perspector/internal/par"
-	"perspector/internal/pca"
+	"perspector/internal/metric"
 	"perspector/internal/perf"
-	"perspector/internal/rng"
-	"perspector/internal/stat"
 )
 
-// Options configures score computation.
-type Options struct {
-	// Counters is the event group to score over (the "focused scoring"
-	// of §IV-B). Defaults to all Table-IV counters.
-	Counters []perf.Counter
-	// KMeansSeed drives k-means restarts deterministically.
-	KMeansSeed uint64
-	// KMeansRestarts is the number of k-means++ restarts per k.
-	KMeansRestarts int
-	// DTWGrid is the number of percentile-grid intervals used by the
-	// TrendScore normalization (§III-B1); the series are resampled to
-	// DTWGrid+1 points.
-	DTWGrid int
-	// DTWBand is the Sakoe–Chiba half-width; 0 means full DTW.
-	DTWBand int
-	// PCAVariance is the retained-variance fraction of Eq. 11–12.
-	PCAVariance float64
-	// SpreadSeed seeds the uniform draws of Eq. 14.
-	SpreadSeed uint64
-	// WarmupFrac is the fraction of leading time-series samples dropped
-	// before trend analysis. Short simulated runs make cold-start effects
-	// (cache/TLB fill, first-touch faults) a visible artificial "phase"
-	// that real minutes-long executions do not show; discarding warmup is
-	// the standard counter-measurement methodology.
-	WarmupFrac float64
-	// TrendValueCDF switches the TrendScore's y-axis normalization from
-	// the event-CDF-over-time reading of §III-B1 to the alternative
-	// value-CDF reading. Kept for the ablation study only: the value-CDF
-	// variant rank-amplifies sampling noise on steady workloads and
-	// inverts the paper's LMbench/Nbench trend results (see DESIGN.md).
-	TrendValueCDF bool
-}
+// Options configures score computation. Alias of metric.Options.
+type Options = metric.Options
+
+// Scores holds the four Perspector metrics for one suite. Alias of
+// metric.Scores.
+type Scores = metric.Scores
 
 // DefaultOptions mirrors the paper's configuration: all counters, 98 %
 // retained variance, full DTW on a 100-point percentile grid.
-func DefaultOptions() Options {
-	return Options{
-		Counters:       perf.AllCounters(),
-		KMeansSeed:     1,
-		KMeansRestarts: 8,
-		DTWGrid:        100,
-		PCAVariance:    0.98,
-		SpreadSeed:     7,
-		WarmupFrac:     0.1,
-	}
-}
+func DefaultOptions() Options { return metric.DefaultOptions() }
 
-func (o *Options) validate() error {
-	if len(o.Counters) == 0 {
-		return fmt.Errorf("core: no counters selected")
-	}
-	if o.DTWGrid < 1 {
-		return fmt.Errorf("core: DTWGrid %d < 1", o.DTWGrid)
-	}
-	if o.PCAVariance <= 0 || o.PCAVariance > 1 {
-		return fmt.Errorf("core: PCAVariance %v out of (0,1]", o.PCAVariance)
-	}
-	if o.KMeansRestarts < 1 {
-		return fmt.Errorf("core: KMeansRestarts %d < 1", o.KMeansRestarts)
-	}
-	if o.WarmupFrac < 0 || o.WarmupFrac > 0.9 {
-		return fmt.Errorf("core: WarmupFrac %v out of [0, 0.9]", o.WarmupFrac)
-	}
-	return nil
-}
-
-// Scores holds the four Perspector metrics for one suite.
-// Lower is better for Cluster and Spread; higher is better for Trend and
-// Coverage (§IV-A).
-type Scores struct {
-	Suite    string
-	Cluster  float64
-	Trend    float64
-	Coverage float64
-	Spread   float64
-}
-
-// normalizeColumns min-max normalizes each column of x into [0,1] using
-// the column's own bounds (used when a suite is scored in isolation).
-func normalizeColumns(x *mat.Matrix) *mat.Matrix {
-	out := mat.New(x.Rows(), x.Cols())
-	for j := 0; j < x.Cols(); j++ {
-		col := stat.Normalize(x.Col(j))
-		for i, v := range col {
-			out.Set(i, j, v)
-		}
-	}
-	return out
-}
-
-// matrixFor extracts the n×m counter matrix of a suite restricted to the
-// selected counters.
-func matrixFor(sm *perf.SuiteMeasurement, counters []perf.Counter) *mat.Matrix {
-	return mat.FromRows(sm.Matrix(counters))
-}
-
-// ClusterScore implements §III-A / Eq. 6: min-max normalize the suite's
-// counter matrix, run k-means for every k in [2, n−1], compute the
-// silhouette of each clustering, and average. Lower (poorer clustering)
-// is better: the workloads do not clump.
-//
-// Suites with fewer than 4 workloads have no k in [2, n−1] beyond the
-// trivial ones; for n == 3 the single k=2 silhouette is returned, and for
-// n < 3 the score is 0 by the k=1 convention of Eq. 3.
+// ClusterScore implements §III-A / Eq. 6. See metric.ClusterScore.
 func ClusterScore(sm *perf.SuiteMeasurement, opts Options) (float64, error) {
-	if err := opts.validate(); err != nil {
-		return 0, err
-	}
-	n := len(sm.Workloads)
-	if n < 3 {
-		return 0, nil
-	}
-	x := normalizeColumns(matrixFor(sm, opts.Counters))
-	// One O(n²) distance matrix serves every silhouette of the sweep.
-	dist := cluster.DistanceMatrix(x)
-	ks := n - 2 // k in [2, n-1]
-	sils := make([]float64, ks)
-	errs := make([]error, ks)
-	par.Do(ks, func(_, i int) {
-		k := i + 2
-		km := cluster.DefaultKMeansOptions(rng.ChildSeed(opts.KMeansSeed, k))
-		km.Restarts = opts.KMeansRestarts
-		res, err := cluster.KMeans(x, k, km)
-		if err != nil {
-			errs[i] = fmt.Errorf("core: ClusterScore k=%d: %w", k, err)
-			return
-		}
-		// k-means can return fewer than k distinct labels only via the
-		// empty-cluster repair, which guarantees non-empty clusters; the
-		// silhouette is computed over exactly k clusters.
-		s, err := cluster.SilhouetteDist(dist, res.Labels, k)
-		if err != nil {
-			errs[i] = fmt.Errorf("core: ClusterScore silhouette k=%d: %w", k, err)
-			return
-		}
-		sils[i] = s
-	})
-	// Ordered reduction: the sum accumulates in k order exactly as the
-	// serial loop did, so the score is bit-identical at any worker count.
-	sum, count := 0.0, 0
-	for i, s := range sils {
-		if errs[i] != nil {
-			return 0, errs[i]
-		}
-		sum += s
-		count++
-	}
-	return sum / float64(count), nil
+	return metric.ClusterScore(sm, opts)
 }
 
-// TrendScore implements §III-B / Eq. 7–8: for every selected counter,
-// normalize each workload's delta time series (CDF y-axis to [0,100],
-// execution-percentile x-axis), compute all pairwise DTW distances, and
-// average; the TrendScore is the mean over counters. Higher is better:
-// the suite's workloads exhibit distinct phase behaviour.
+// TrendScore implements §III-B / Eq. 7–8. See metric.TrendScore.
 func TrendScore(sm *perf.SuiteMeasurement, opts Options) (float64, error) {
-	if err := opts.validate(); err != nil {
-		return 0, err
-	}
-	n := len(sm.Workloads)
-	if n < 2 {
-		return 0, nil
-	}
-	// Enumerate the unordered pairs once, in the lexicographic order of
-	// the serial double loop; the parallel gather below reduces in this
-	// order, so the sum never reassociates.
-	pairs := make([][2]int, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, [2]int{i, j})
-		}
-	}
-	// Per-worker reusable DP scratch: the O(W²) DTW loop allocates
-	// nothing per pair.
-	scratch := make([]*dtw.Distancer, par.Workers())
-	worker := func(w int) *dtw.Distancer {
-		if scratch[w] == nil {
-			scratch[w] = dtw.NewDistancer()
-		}
-		return scratch[w]
-	}
-
-	total := 0.0
-	for _, c := range opts.Counters {
-		series := sm.SeriesFor(c)
-		// Normalize once per workload, dropping warmup samples first.
-		norm := make([][]float64, n)
-		normErrs := make([]error, n)
-		par.Do(n, func(w, i int) {
-			s := series[i]
-			if len(s) == 0 {
-				normErrs[i] = fmt.Errorf("core: TrendScore: workload %q has no samples for %v",
-					sm.Workloads[i].Workload, c)
-				return
-			}
-			drop := int(opts.WarmupFrac * float64(len(s)))
-			if drop >= len(s) {
-				drop = len(s) - 1
-			}
-			if opts.TrendValueCDF {
-				norm[i] = dtw.NormalizeSeriesValueCDF(s[drop:], opts.DTWGrid)
-			} else {
-				norm[i] = worker(w).NormalizeSeries(s[drop:], opts.DTWGrid)
-			}
-		})
-		for _, err := range normErrs {
-			if err != nil {
-				return 0, err
-			}
-		}
-
-		dists := make([]float64, len(pairs))
-		var dtwErrs []error
-		if opts.DTWBand > 0 {
-			dtwErrs = make([]error, len(pairs))
-		}
-		par.Do(len(pairs), func(w, p int) {
-			i, j := pairs[p][0], pairs[p][1]
-			dz := worker(w)
-			if opts.DTWBand > 0 {
-				d, err := dz.DistanceBanded(norm[i], norm[j], opts.DTWBand)
-				if err != nil {
-					dtwErrs[p] = fmt.Errorf("core: TrendScore DTW: %w", err)
-					return
-				}
-				dists[p] = d
-			} else {
-				dists[p] = dz.Distance(norm[i], norm[j])
-			}
-		})
-		sum := 0.0
-		for p, d := range dists {
-			if dtwErrs != nil && dtwErrs[p] != nil {
-				return 0, dtwErrs[p]
-			}
-			sum += 2 * d // Eq. 7 sums ordered pairs; DTW is symmetric
-		}
-		total += sum / float64(n*(n-1))
-	}
-	return total / float64(len(opts.Counters)), nil
+	return metric.TrendScore(sm, opts)
 }
 
 // CoverageScore implements §III-C / Eq. 11–13 on an already-normalized
-// matrix (joint normalization is the caller's job — see ScoreSuites):
-// PCA retaining opts.PCAVariance of the variance, then the mean variance
-// of the retained components. Higher is better.
+// matrix. See metric.CoverageScore.
 func CoverageScore(xNorm *mat.Matrix, opts Options) (float64, error) {
-	if err := opts.validate(); err != nil {
-		return 0, err
-	}
-	res, err := pca.Fit(xNorm, opts.PCAVariance)
-	if err != nil {
-		return 0, fmt.Errorf("core: CoverageScore: %w", err)
-	}
-	return res.MeanComponentVariance(), nil
+	return metric.CoverageScore(xNorm, opts)
 }
 
-// SpreadScore implements §III-D / Eq. 14 on an already-normalized matrix:
-// for each workload (row), the two-sample KS statistic between its
-// normalized counter values and an equal number of seeded uniform draws;
-// the score is the mean over workloads. Lower is better (closer to a
-// uniform covering of the parameter space).
+// SpreadScore implements §III-D / Eq. 14 on an already-normalized
+// matrix. See metric.SpreadScore.
 func SpreadScore(xNorm *mat.Matrix, opts Options) (float64, error) {
-	if err := opts.validate(); err != nil {
-		return 0, err
-	}
-	if xNorm.Rows() == 0 {
-		return 0, fmt.Errorf("core: SpreadScore on empty matrix")
-	}
-	src := rng.New(opts.SpreadSeed)
-	m := xNorm.Cols()
-	sum := 0.0
-	for i := 0; i < xNorm.Rows(); i++ {
-		uniform := make([]float64, m)
-		for j := range uniform {
-			uniform[j] = src.Float64()
-		}
-		sum += stat.KSTwoSample(xNorm.RowView(i), uniform)
-	}
-	return sum / float64(xNorm.Rows()), nil
+	return metric.SpreadScore(xNorm, opts)
 }
 
 // JointNormalize min-max normalizes the matrices of several suites with
-// shared per-counter bounds (Eq. 9–10): the bounds come from the
-// concatenation of all suites, so relative ranges between suites survive.
+// shared per-counter bounds (Eq. 9–10). See metric.JointNormalize.
 func JointNormalize(xs []*mat.Matrix) ([]*mat.Matrix, error) {
-	if len(xs) == 0 {
-		return nil, fmt.Errorf("core: JointNormalize with no matrices")
-	}
-	m := xs[0].Cols()
-	for _, x := range xs {
-		if x.Cols() != m {
-			return nil, fmt.Errorf("core: JointNormalize column mismatch %d vs %d", x.Cols(), m)
-		}
-		if x.Rows() == 0 {
-			return nil, fmt.Errorf("core: JointNormalize with empty matrix")
-		}
-	}
-	// Global bounds per counter (Eq. 9). Columns are independent, so the
-	// bound scan fans out per column; each task writes only its own
-	// mins[j]/maxs[j] slot.
-	mins := make([]float64, m)
-	maxs := make([]float64, m)
-	par.Do(m, func(_, j int) {
-		first := true
-		for _, x := range xs {
-			for i := 0; i < x.Rows(); i++ {
-				v := x.At(i, j)
-				if first || v < mins[j] {
-					mins[j] = v
-				}
-				if first || v > maxs[j] {
-					maxs[j] = v
-				}
-				first = false
-			}
-		}
-	})
-	// Normalization pass: one task per suite, each writing its own out[k].
-	out := make([]*mat.Matrix, len(xs))
-	par.Do(len(xs), func(_, k int) {
-		x := xs[k]
-		nx := mat.New(x.Rows(), m)
-		for j := 0; j < m; j++ {
-			col := stat.NormalizeWith(x.Col(j), mins[j], maxs[j])
-			for i, v := range col {
-				nx.Set(i, j, v)
-			}
-		}
-		out[k] = nx
-	})
-	return out, nil
+	return metric.JointNormalize(xs)
 }
 
-// ScoreSuites computes all four Perspector scores for each suite.
-// ClusterScore and TrendScore are intrinsic to a suite; CoverageScore and
-// SpreadScore use the joint normalization of Eq. 9–10 across all the
-// suites passed in, exactly as the paper compares suites in Fig. 3.
+// ScoreSuites computes all four Perspector scores for each suite under
+// the joint normalization of Eq. 9–10, exactly as the paper compares
+// suites in Fig. 3. Wrapper over metric.ScoreSuites with a background
+// context and the default registry; totals-only measurements come back
+// with Trend zero via the engine's capability check.
 func ScoreSuites(sms []*perf.SuiteMeasurement, opts Options) ([]Scores, error) {
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if len(sms) == 0 {
-		return nil, fmt.Errorf("core: ScoreSuites with no suites")
-	}
-	raw := make([]*mat.Matrix, len(sms))
-	for i, sm := range sms {
-		raw[i] = matrixFor(sm, opts.Counters)
-	}
-	normed, err := JointNormalize(raw)
-	if err != nil {
-		return nil, err
-	}
-	// Per-suite fan-out: every suite's four scores are independent of the
-	// others once the joint bounds are fixed, and each score is itself
-	// deterministic, so out[i] is the same at any worker count. The first
-	// error in suite order is returned, matching the serial loop.
-	out := make([]Scores, len(sms))
-	errs := make([]error, len(sms))
-	par.Do(len(sms), func(_, i int) {
-		sm := sms[i]
-		cs, err := ClusterScore(sm, opts)
-		if err != nil {
-			errs[i] = fmt.Errorf("suite %q: %w", sm.Suite, err)
-			return
-		}
-		ts, err := TrendScore(sm, opts)
-		if err != nil {
-			errs[i] = fmt.Errorf("suite %q: %w", sm.Suite, err)
-			return
-		}
-		cov, err := CoverageScore(normed[i], opts)
-		if err != nil {
-			errs[i] = fmt.Errorf("suite %q: %w", sm.Suite, err)
-			return
-		}
-		sp, err := SpreadScore(normed[i], opts)
-		if err != nil {
-			errs[i] = fmt.Errorf("suite %q: %w", sm.Suite, err)
-			return
-		}
-		out[i] = Scores{Suite: sm.Suite, Cluster: cs, Trend: ts, Coverage: cov, Spread: sp}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return metric.ScoreSuites(context.Background(), sms, opts, nil)
 }
 
-// ScoreSuite scores one suite in isolation (joint normalization degenerates
-// to the suite's own bounds).
+// ScoreSuite scores one suite in isolation (joint normalization
+// degenerates to the suite's own bounds).
 func ScoreSuite(sm *perf.SuiteMeasurement, opts Options) (Scores, error) {
-	res, err := ScoreSuites([]*perf.SuiteMeasurement{sm}, opts)
-	if err != nil {
-		return Scores{}, err
-	}
-	return res[0], nil
-}
-
-// ScoreSuiteNoTrend scores a suite that carries only counter totals (no
-// sampled time series), e.g. data imported from a totals CSV: the
-// ClusterScore, CoverageScore and SpreadScore are computed; Trend is 0.
-func ScoreSuiteNoTrend(sm *perf.SuiteMeasurement, opts Options) (Scores, error) {
-	if err := opts.validate(); err != nil {
-		return Scores{}, err
-	}
-	raw := matrixFor(sm, opts.Counters)
-	normed, err := JointNormalize([]*mat.Matrix{raw})
-	if err != nil {
-		return Scores{}, err
-	}
-	cs, err := ClusterScore(sm, opts)
-	if err != nil {
-		return Scores{}, err
-	}
-	cov, err := CoverageScore(normed[0], opts)
-	if err != nil {
-		return Scores{}, err
-	}
-	sp, err := SpreadScore(normed[0], opts)
-	if err != nil {
-		return Scores{}, err
-	}
-	return Scores{Suite: sm.Suite, Cluster: cs, Coverage: cov, Spread: sp}, nil
+	return metric.ScoreSuite(context.Background(), sm, opts, nil)
 }

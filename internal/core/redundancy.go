@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"perspector/internal/metric"
 	"perspector/internal/perf"
 	"perspector/internal/stat"
 )
@@ -30,7 +31,7 @@ type RedundantPair struct {
 // counters correlate with nothing (r = 0 by convention). threshold must
 // lie in (0, 1].
 func CounterRedundancy(sm *perf.SuiteMeasurement, opts Options, threshold float64) ([]RedundantPair, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if threshold <= 0 || threshold > 1 {
@@ -39,7 +40,7 @@ func CounterRedundancy(sm *perf.SuiteMeasurement, opts Options, threshold float6
 	if len(sm.Workloads) < 2 {
 		return nil, fmt.Errorf("core: redundancy needs at least two workloads, got %d", len(sm.Workloads))
 	}
-	x := matrixFor(sm, opts.Counters)
+	x := metric.NewArtifacts(sm, opts).Raw()
 	var out []RedundantPair
 	for i := 0; i < len(opts.Counters); i++ {
 		for j := i + 1; j < len(opts.Counters); j++ {

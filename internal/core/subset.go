@@ -6,6 +6,7 @@ import (
 
 	"perspector/internal/lhs"
 	"perspector/internal/mat"
+	"perspector/internal/metric"
 	"perspector/internal/perf"
 	"perspector/internal/stat"
 )
@@ -52,7 +53,7 @@ func DefaultSubsetOptions(size int) SubsetOptions {
 // replacement). It then scores the full suite and the subset and reports
 // the deviation.
 func Subset(sm *perf.SuiteMeasurement, opts Options, so SubsetOptions) (*SubsetResult, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(sm.Workloads)
@@ -73,7 +74,7 @@ func Subset(sm *perf.SuiteMeasurement, opts Options, so SubsetOptions) (*SubsetR
 	// point per region" translates to "one workload per quantile band";
 	// min-max space would instead pull every LHS point toward the handful
 	// of extreme-valued workloads and select near-duplicates.
-	candidates := rankNormalizeColumns(matrixFor(sm, opts.Counters))
+	candidates := rankNormalizeColumns(metric.NewArtifacts(sm, opts).Raw())
 	design, err := lhs.SampleMaximin(so.Size, candidates.Cols(), so.Seed, so.MaximinTries)
 	if err != nil {
 		return nil, fmt.Errorf("core: subset LHS: %w", err)

@@ -1,0 +1,231 @@
+package metric
+
+import (
+	"context"
+	"fmt"
+
+	"perspector/internal/cluster"
+	"perspector/internal/dtw"
+	"perspector/internal/mat"
+	"perspector/internal/par"
+	"perspector/internal/perf"
+	"perspector/internal/stat"
+)
+
+// Artifacts holds the shared intermediates of one suite's scoring run.
+// Before the engine existed, every score recomputed its inputs from the
+// raw measurement (the counter matrix twice, the normalized matrix per
+// score); Artifacts computes each intermediate once, on first request,
+// and hands the cached value to every metric that follows.
+//
+// An Artifacts value is not safe for concurrent use: the engine runs the
+// registry's metrics serially per suite (suites fan out, metrics do not),
+// so the lazy single-slot caches need no locks.
+type Artifacts struct {
+	// Meas is the suite measurement being scored.
+	Meas *perf.SuiteMeasurement
+	// Opts is the scoring configuration; it must not change between
+	// metric computations (cached intermediates depend on it).
+	Opts Options
+	// JointNorm is the counter matrix under the joint normalization of
+	// Eq. 9–10 across every suite of the scoring run. The engine sets it
+	// after JointNormalize; metrics that declare NeedsJointNorm may read
+	// it directly. For a suite scored alone it degenerates to the suite's
+	// own bounds.
+	JointNorm *mat.Matrix
+
+	raw        *mat.Matrix
+	ownNorm    *mat.Matrix
+	dist       [][]float64
+	normSeries map[perf.Counter][][]float64
+	scratch    []*dtw.Distancer
+}
+
+// NewArtifacts wraps a measurement for scoring. Intermediates are
+// computed lazily; nothing runs until a metric asks.
+func NewArtifacts(sm *perf.SuiteMeasurement, opts Options) *Artifacts {
+	return &Artifacts{
+		Meas:    sm,
+		Opts:    opts,
+		scratch: make([]*dtw.Distancer, par.Workers()),
+	}
+}
+
+// HasSeries reports whether any workload carries sampled time-series
+// data. Totals-only imports (e.g. a counters CSV) have none; metrics
+// that declare NeedsSeries are skipped for such measurements.
+func (a *Artifacts) HasSeries() bool {
+	for i := range a.Meas.Workloads {
+		if a.Meas.Workloads[i].Series.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Raw returns the n×m counter matrix restricted to Opts.Counters.
+func (a *Artifacts) Raw() *mat.Matrix {
+	if a.raw == nil {
+		a.raw = matrixFor(a.Meas, a.Opts.Counters)
+	}
+	return a.raw
+}
+
+// OwnNorm returns the counter matrix min-max normalized with the suite's
+// own per-counter bounds — the intrinsic-score normalization used by
+// ClusterScore (§III-A), as opposed to the cross-suite JointNorm.
+func (a *Artifacts) OwnNorm() *mat.Matrix {
+	if a.ownNorm == nil {
+		a.ownNorm = normalizeColumns(a.Raw())
+	}
+	return a.ownNorm
+}
+
+// Dist returns the pairwise Euclidean distance matrix over OwnNorm; one
+// O(n²) computation serves every silhouette of the k-means sweep.
+func (a *Artifacts) Dist() [][]float64 {
+	if a.dist == nil {
+		a.dist = cluster.DistanceMatrix(a.OwnNorm())
+	}
+	return a.dist
+}
+
+// NormSeries returns the warmup-trimmed, CDF/percentile-normalized delta
+// series of every workload for counter c (the Fig. 1 normalization that
+// TrendScore's DTW compares). The result is cached per counter.
+func (a *Artifacts) NormSeries(ctx context.Context, c perf.Counter) ([][]float64, error) {
+	if s, ok := a.normSeries[c]; ok {
+		return s, nil
+	}
+	series := a.Meas.SeriesFor(c)
+	n := len(a.Meas.Workloads)
+	norm := make([][]float64, n)
+	err := par.DoErr(ctx, n, func(w, i int) error {
+		s := series[i]
+		if len(s) == 0 {
+			return fmt.Errorf("metric: TrendScore: workload %q has no samples for %v",
+				a.Meas.Workloads[i].Workload, c)
+		}
+		drop := int(a.Opts.WarmupFrac * float64(len(s)))
+		if drop >= len(s) {
+			drop = len(s) - 1
+		}
+		if a.Opts.TrendValueCDF {
+			norm[i] = dtw.NormalizeSeriesValueCDF(s[drop:], a.Opts.DTWGrid)
+		} else {
+			// NormalizeSeries returns a fresh slice, so caching the result
+			// while reusing the distancer's internal scratch is safe.
+			norm[i] = a.distancer(w).NormalizeSeries(s[drop:], a.Opts.DTWGrid)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if a.normSeries == nil {
+		a.normSeries = make(map[perf.Counter][][]float64)
+	}
+	a.normSeries[c] = norm
+	return norm, nil
+}
+
+// distancer returns worker w's reusable DTW scratch. Worker ids from
+// par.Do/DoErr are stable within a pool, so each slot is owned by one
+// goroutine at a time.
+func (a *Artifacts) distancer(w int) *dtw.Distancer {
+	if w >= len(a.scratch) {
+		// Pool width grew after NewArtifacts (SetWorkers mid-run); fall
+		// back to a throwaway instance rather than racing on the slice.
+		return dtw.NewDistancer()
+	}
+	if a.scratch[w] == nil {
+		a.scratch[w] = dtw.NewDistancer()
+	}
+	return a.scratch[w]
+}
+
+// normalizeColumns min-max normalizes each column of x into [0,1] using
+// the column's own bounds (used when a suite is scored in isolation).
+func normalizeColumns(x *mat.Matrix) *mat.Matrix {
+	out := mat.New(x.Rows(), x.Cols())
+	for j := 0; j < x.Cols(); j++ {
+		col := stat.Normalize(x.Col(j))
+		for i, v := range col {
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// matrixFor extracts the n×m counter matrix of a suite restricted to the
+// selected counters.
+func matrixFor(sm *perf.SuiteMeasurement, counters []perf.Counter) *mat.Matrix {
+	return mat.FromRows(sm.Matrix(counters))
+}
+
+// JointNormalize min-max normalizes the matrices of several suites with
+// shared per-counter bounds (Eq. 9–10): the bounds come from the
+// concatenation of all suites, so relative ranges between suites survive.
+func JointNormalize(xs []*mat.Matrix) ([]*mat.Matrix, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("metric: JointNormalize with no matrices")
+	}
+	m := xs[0].Cols()
+	for _, x := range xs {
+		if x.Cols() != m {
+			return nil, fmt.Errorf("metric: JointNormalize column mismatch %d vs %d", x.Cols(), m)
+		}
+		if x.Rows() == 0 {
+			return nil, fmt.Errorf("metric: JointNormalize with empty matrix")
+		}
+	}
+	// Global bounds per counter (Eq. 9). Columns are independent, so the
+	// bound scan fans out per column; each task writes only its own
+	// mins[j]/maxs[j] slot.
+	mins := make([]float64, m)
+	maxs := make([]float64, m)
+	par.Do(m, func(_, j int) {
+		first := true
+		for _, x := range xs {
+			for i := 0; i < x.Rows(); i++ {
+				v := x.At(i, j)
+				if first || v < mins[j] {
+					mins[j] = v
+				}
+				if first || v > maxs[j] {
+					maxs[j] = v
+				}
+				first = false
+			}
+		}
+	})
+	// Normalization pass: one task per suite, each writing its own out[k].
+	out := make([]*mat.Matrix, len(xs))
+	par.Do(len(xs), func(_, k int) {
+		x := xs[k]
+		nx := mat.New(x.Rows(), m)
+		for j := 0; j < m; j++ {
+			col := stat.NormalizeWith(x.Col(j), mins[j], maxs[j])
+			for i, v := range col {
+				nx.Set(i, j, v)
+			}
+		}
+		out[k] = nx
+	})
+	return out, nil
+}
+
+// TotalsOnly returns a shallow copy of sm with every time series dropped,
+// keeping workload names and counter totals. Scoring the copy makes the
+// trend metric's NeedsSeries capability check skip itself — the engine
+// path that replaced the old hand-rolled ScoreSuiteNoTrend.
+func TotalsOnly(sm *perf.SuiteMeasurement) *perf.SuiteMeasurement {
+	out := &perf.SuiteMeasurement{
+		Suite:     sm.Suite,
+		Workloads: make([]perf.Measurement, len(sm.Workloads)),
+	}
+	for i, w := range sm.Workloads {
+		out.Workloads[i] = perf.Measurement{Workload: w.Workload, Totals: w.Totals}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package metric
+
+import (
+	"context"
+	"fmt"
+
+	"perspector/internal/mat"
+	"perspector/internal/par"
+	"perspector/internal/perf"
+	"perspector/internal/stage"
+)
+
+// ScoreSuites drives the registry over every suite: build one Artifacts
+// per suite, joint-normalize across all of them (Eq. 9–10, only if a
+// registered metric asks for it), then fan the suites out and run the
+// metrics in registration order, skipping any metric whose capability
+// needs the measurement cannot satisfy.
+//
+// A nil registry means DefaultRegistry (the four paper scores). Errors
+// carry stage tags: per-metric failures are *stage.Error values tagged
+// with stage.Score and the suite; a cancellation that fires between
+// suites is tagged with the run's own stage (Compare for multi-suite
+// runs, Score for a single suite). Results are bit-identical at any
+// worker count: the per-suite fan-out writes disjoint slots and each
+// metric reduces in fixed serial order.
+func ScoreSuites(ctx context.Context, sms []*perf.SuiteMeasurement, opts Options, reg *Registry) ([]Scores, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sms) == 0 {
+		return nil, fmt.Errorf("metric: ScoreSuites with no suites")
+	}
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	runStage := stage.Compare
+	if len(sms) == 1 {
+		runStage = stage.Score
+	}
+	arts := make([]*Artifacts, len(sms))
+	for i, sm := range sms {
+		arts[i] = NewArtifacts(sm, opts)
+	}
+	if reg.needs(func(c Capabilities) bool { return c.NeedsJointNorm }) {
+		raw := make([]*mat.Matrix, len(sms))
+		for i, a := range arts {
+			raw[i] = a.Raw()
+		}
+		normed, err := JointNormalize(raw)
+		if err != nil {
+			return nil, stage.Wrap(runStage, "", "", err)
+		}
+		for i, a := range arts {
+			a.JointNorm = normed[i]
+		}
+	}
+	// Per-suite fan-out: every suite's scores are independent of the
+	// others once the joint bounds are fixed, and each metric is itself
+	// deterministic, so out[i] is the same at any worker count. The first
+	// error in suite order is returned, matching the serial loop.
+	out := make([]Scores, len(sms))
+	err := par.DoErr(ctx, len(sms), func(_, i int) error {
+		a := arts[i]
+		out[i].Suite = a.Meas.Suite
+		hasSeries := a.HasSeries()
+		for _, m := range reg.Metrics() {
+			if m.Requires().NeedsSeries && !hasSeries {
+				continue // capability unmet: slot stays zero
+			}
+			v, err := m.Compute(ctx, a)
+			if err != nil {
+				return stage.Wrap(stage.Score, a.Meas.Suite, "", err)
+			}
+			if err := out[i].set(m.Name(), v); err != nil {
+				return stage.Wrap(stage.Score, a.Meas.Suite, "", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// Covers the path where ctx fired before any metric failed: DoErr
+		// returns the bare ctx.Err(), which still deserves a stage tag.
+		return nil, stage.Wrap(runStage, "", "", err)
+	}
+	return out, nil
+}
+
+// ScoreSuite scores one suite in isolation (joint normalization
+// degenerates to the suite's own bounds).
+func ScoreSuite(ctx context.Context, sm *perf.SuiteMeasurement, opts Options, reg *Registry) (Scores, error) {
+	res, err := ScoreSuites(ctx, []*perf.SuiteMeasurement{sm}, opts, reg)
+	if err != nil {
+		return Scores{}, err
+	}
+	return res[0], nil
+}
+
+// ClusterScore computes the §III-A score for one suite on its own
+// normalization — the standalone entry point used by focused scoring and
+// subset search, bypassing the registry.
+func ClusterScore(sm *perf.SuiteMeasurement, opts Options) (float64, error) {
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+	return clusterMetric{}.Compute(context.Background(), NewArtifacts(sm, opts))
+}
+
+// TrendScore computes the §III-B score for one suite. Unlike the engine
+// path, a measurement without series is an error here: the caller asked
+// for the trend specifically.
+func TrendScore(sm *perf.SuiteMeasurement, opts Options) (float64, error) {
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+	return trendMetric{}.Compute(context.Background(), NewArtifacts(sm, opts))
+}
+
+// CoverageScore computes the §III-C score on an already-normalized
+// matrix (joint normalization is the caller's job — see ScoreSuites).
+func CoverageScore(xNorm *mat.Matrix, opts Options) (float64, error) {
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+	return coverageMetric{}.Compute(context.Background(), &Artifacts{Opts: opts, JointNorm: xNorm})
+}
+
+// SpreadScore computes the §III-D score on an already-normalized matrix.
+func SpreadScore(xNorm *mat.Matrix, opts Options) (float64, error) {
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+	return spreadMetric{}.Compute(context.Background(), &Artifacts{Opts: opts, JointNorm: xNorm})
+}

@@ -1,0 +1,82 @@
+// Package stage defines the structured errors of the staged scoring
+// engine. Every failure or cancellation that crosses an engine boundary
+// (measurement, artifact building, metric computation, comparison) is
+// wrapped in an *Error carrying the pipeline stage plus the suite and
+// workload it happened in, so callers can route on errors.As/Is instead
+// of parsing message strings — and so a cancelled run can say *where* it
+// was cut short.
+package stage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Stage identifies one phase of the engine pipeline.
+type Stage string
+
+const (
+	// Measure is workload execution on the simulator (or trace import).
+	Measure Stage = "measure"
+	// Score is per-suite metric computation over the shared artifacts.
+	Score Stage = "score"
+	// Compare is cross-suite work: joint normalization and the per-suite
+	// scoring fan-out.
+	Compare Stage = "compare"
+)
+
+// Error tags an underlying error with the engine stage and, when known,
+// the suite and workload being processed. It supports errors.Is/As via
+// Unwrap, so context.Canceled and context.DeadlineExceeded remain
+// matchable through the wrapper.
+type Error struct {
+	// Stage is the pipeline phase that failed.
+	Stage Stage
+	// Suite is the suite being processed, if known.
+	Suite string
+	// Workload is the workload being processed, if known.
+	Workload string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders "stage suite/workload: cause" with the empty parts
+// omitted.
+func (e *Error) Error() string {
+	where := string(e.Stage)
+	switch {
+	case e.Suite != "" && e.Workload != "":
+		where += " " + e.Suite + "/" + e.Workload
+	case e.Suite != "":
+		where += " " + e.Suite
+	case e.Workload != "":
+		where += " " + e.Workload
+	}
+	return fmt.Sprintf("%s: %v", where, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Wrap returns err tagged with the stage and location, or nil if err is
+// nil. If err is already a *stage.Error it is returned unchanged: the
+// innermost wrap wins, because it knows the failure point most precisely
+// (e.g. a measure-stage error surfacing through a compare fan-out).
+func Wrap(st Stage, suite, workload string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return err
+	}
+	return &Error{Stage: st, Suite: suite, Workload: workload, Err: err}
+}
+
+// Canceled reports whether err is (or wraps) a context cancellation or
+// deadline expiry — the condition under which a CLI should exit with the
+// dedicated "interrupted" status rather than a generic failure.
+func Canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,71 @@
+package stage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorRendering(t *testing.T) {
+	cause := errors.New("boom")
+	cases := []struct {
+		err  *Error
+		want string
+	}{
+		{&Error{Stage: Measure, Suite: "parsec", Workload: "parsec.x264", Err: cause},
+			"measure parsec/parsec.x264: boom"},
+		{&Error{Stage: Score, Suite: "parsec", Err: cause}, "score parsec: boom"},
+		{&Error{Stage: Compare, Err: cause}, "compare: boom"},
+		{&Error{Stage: Measure, Workload: "w", Err: cause}, "measure w: boom"},
+	}
+	for _, c := range cases {
+		if got := c.err.Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestWrapAndUnwrap(t *testing.T) {
+	if Wrap(Measure, "s", "w", nil) != nil {
+		t.Fatal("Wrap(nil) != nil")
+	}
+	err := Wrap(Measure, "parsec", "parsec.x264", context.Canceled)
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatal("errors.As failed to find *stage.Error")
+	}
+	if se.Stage != Measure || se.Suite != "parsec" || se.Workload != "parsec.x264" {
+		t.Fatalf("wrong tags: %+v", se)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("cancellation not matchable through the wrapper")
+	}
+}
+
+func TestWrapKeepsInnermost(t *testing.T) {
+	inner := Wrap(Measure, "parsec", "parsec.x264", context.Canceled)
+	outer := Wrap(Compare, "", "", inner)
+	if outer != inner {
+		t.Fatalf("re-wrap replaced the innermost tag: %v", outer)
+	}
+	// Even through an intermediate fmt wrap, the measure tag wins.
+	mid := fmt.Errorf("suite fan-out: %w", inner)
+	outer = Wrap(Compare, "", "", mid)
+	var se *Error
+	if !errors.As(outer, &se) || se.Stage != Measure {
+		t.Fatalf("lost the inner measure tag: %v", outer)
+	}
+}
+
+func TestCanceled(t *testing.T) {
+	if !Canceled(Wrap(Score, "s", "", context.DeadlineExceeded)) {
+		t.Fatal("deadline not detected")
+	}
+	if Canceled(Wrap(Score, "s", "", errors.New("plain"))) {
+		t.Fatal("plain error misdetected as cancellation")
+	}
+	if Canceled(nil) {
+		t.Fatal("nil misdetected")
+	}
+}

@@ -1,6 +1,7 @@
 package suites
 
 import (
+	"context"
 	"fmt"
 
 	"perspector/internal/perf"
@@ -43,7 +44,7 @@ func Calibrate(s Suite, cfg Config, targetCycles, minInstr, maxInstr uint64) (Su
 	probeCfg.Samples = 1
 	for i := range out.Specs {
 		for r := 0; r < rounds; r++ {
-			meas, err := runOne(out.Specs[i], probeCfg)
+			meas, err := runOne(context.Background(), out.Specs[i], probeCfg)
 			if err != nil {
 				return Suite{}, fmt.Errorf("suites: Calibrate probe %q: %w", out.Specs[i].Name, err)
 			}

@@ -1,0 +1,83 @@
+package suites
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"perspector/internal/stage"
+)
+
+// TestRunContextCancellationPrompt gives the simulator an instruction
+// budget that would take far longer than the deadline and checks that
+// cancellation lands within the poll stride — promptly, with a
+// stage-tagged cancellation error — rather than after the run finishes.
+func TestRunContextCancellationPrompt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Instructions = 200_000_000 // minutes of simulation if not cancelled
+	cfg.Samples = 100
+	s, err := ByName("parsec", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = RunContext(ctx, s, cfg)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if !stage.Canceled(err) {
+		t.Fatalf("error not recognized as cancellation: %v", err)
+	}
+	var se *stage.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("error carries no stage tag: %v", err)
+	}
+	if se.Stage != stage.Measure || se.Suite == "" {
+		t.Fatalf("stage tag incomplete: %+v", se)
+	}
+	// Generous bound: the deadline is 30ms and the poll stride is a few
+	// thousand simulated instructions, so even a loaded CI machine stays
+	// well under this.
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestRunContextCancelNoGoroutineLeak runs many cancelled measurements
+// and checks the goroutine count settles back — cancelled fan-outs must
+// not strand workers.
+func TestRunContextCancelNoGoroutineLeak(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Instructions = 20_000
+	cfg.Samples = 10
+	s, err := ByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up the worker pool so its long-lived goroutines are part of
+	// the baseline.
+	if _, err := RunContext(context.Background(), s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := RunContext(ctx, s, cfg); err == nil {
+			t.Fatal("cancelled run succeeded")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

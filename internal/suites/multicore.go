@@ -7,6 +7,7 @@ import (
 	"perspector/internal/par"
 	"perspector/internal/perf"
 	"perspector/internal/rng"
+	"perspector/internal/stage"
 	"perspector/internal/uarch"
 	"perspector/internal/workload"
 )
@@ -22,6 +23,11 @@ import (
 // This is an extension beyond the paper's single-threaded methodology;
 // use Run for the paper reproduction.
 func RunMulticore(s Suite, cfg Config, threads int) (*perf.SuiteMeasurement, error) {
+	return RunMulticoreContext(context.Background(), s, cfg, threads)
+}
+
+// RunMulticoreContext is RunMulticore with cancellation (see RunContext).
+func RunMulticoreContext(ctx context.Context, s Suite, cfg Config, threads int) (*perf.SuiteMeasurement, error) {
 	if threads < 1 {
 		return nil, fmt.Errorf("suites: RunMulticore with %d threads", threads)
 	}
@@ -36,21 +42,21 @@ func RunMulticore(s Suite, cfg Config, threads int) (*perf.SuiteMeasurement, err
 		Workloads: make([]perf.Measurement, len(s.Specs)),
 	}
 
-	err := par.DoErr(context.Background(), len(s.Specs), func(_, i int) error {
-		meas, err := runOneMulticore(s.Specs[i], cfg, threads)
+	err := par.DoErr(ctx, len(s.Specs), func(_, i int) error {
+		meas, err := runOneMulticore(ctx, s.Specs[i], cfg, threads)
 		if err != nil {
-			return fmt.Errorf("suites: %s/%s: %w", s.Name, s.Specs[i].Name, err)
+			return stage.Wrap(stage.Measure, s.Name, s.Specs[i].Name, err)
 		}
 		sm.Workloads[i] = *meas
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stage.Wrap(stage.Measure, s.Name, "", err)
 	}
 	return sm, nil
 }
 
-func runOneMulticore(spec workload.Spec, cfg Config, threads int) (*perf.Measurement, error) {
+func runOneMulticore(ctx context.Context, spec workload.Spec, cfg Config, threads int) (*perf.Measurement, error) {
 	progs := make([]uarch.Program, threads)
 	for th := 0; th < threads; th++ {
 		threadSpec := spec
@@ -74,5 +80,5 @@ func runOneMulticore(spec workload.Spec, cfg Config, threads int) (*perf.Measure
 	if err != nil {
 		return nil, err
 	}
-	return m.RunParallel(progs, spec.Instructions)
+	return m.RunParallelContext(ctx, progs, spec.Instructions)
 }

@@ -17,6 +17,7 @@ import (
 	"perspector/internal/par"
 	"perspector/internal/perf"
 	"perspector/internal/rng"
+	"perspector/internal/stage"
 	"perspector/internal/uarch"
 	"perspector/internal/workload"
 )
@@ -120,6 +121,15 @@ func ByName(name string, cfg Config) (Suite, error) {
 // order and are fully deterministic (each workload owns its machine and
 // RNG streams).
 func Run(s Suite, cfg Config) (*perf.SuiteMeasurement, error) {
+	return RunContext(context.Background(), s, cfg)
+}
+
+// RunContext is Run with end-to-end cancellation: ctx flows through the
+// worker-pool fan-out into every simulator loop, so a cancelled context
+// stops the measurement within one sample batch. Failures and
+// cancellations surface as *stage.Error values tagged with the suite and
+// (when one was executing) the workload.
+func RunContext(ctx context.Context, s Suite, cfg Config) (*perf.SuiteMeasurement, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,21 +140,23 @@ func Run(s Suite, cfg Config) (*perf.SuiteMeasurement, error) {
 		Suite:     s.Name,
 		Workloads: make([]perf.Measurement, len(s.Specs)),
 	}
-	err := par.DoErr(context.Background(), len(s.Specs), func(_, i int) error {
-		meas, err := runOne(s.Specs[i], cfg)
+	err := par.DoErr(ctx, len(s.Specs), func(_, i int) error {
+		meas, err := runOne(ctx, s.Specs[i], cfg)
 		if err != nil {
-			return fmt.Errorf("suites: %s/%s: %w", s.Name, s.Specs[i].Name, err)
+			return stage.Wrap(stage.Measure, s.Name, s.Specs[i].Name, err)
 		}
 		sm.Workloads[i] = *meas
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		// Covers the path where ctx fired before any workload failed:
+		// DoErr returns the bare ctx.Err(), which still deserves a tag.
+		return nil, stage.Wrap(stage.Measure, s.Name, "", err)
 	}
 	return sm, nil
 }
 
-func runOne(spec workload.Spec, cfg Config) (*perf.Measurement, error) {
+func runOne(ctx context.Context, spec workload.Spec, cfg Config) (*perf.Measurement, error) {
 	prog, err := workload.Compile(spec)
 	if err != nil {
 		return nil, err
@@ -158,17 +170,22 @@ func runOne(spec workload.Spec, cfg Config) (*perf.Measurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(prog, spec.Instructions)
+	return m.RunContext(ctx, prog, spec.Instructions)
 }
 
 // RunAll executes every Table-III suite and returns the measurements in
 // paper order. Suites fan out in parallel on top of Run's per-workload
 // fan-out; the first error in suite order wins, as in the serial loop.
 func RunAll(cfg Config) ([]*perf.SuiteMeasurement, error) {
+	return RunAllContext(context.Background(), cfg)
+}
+
+// RunAllContext is RunAll with cancellation (see RunContext).
+func RunAllContext(ctx context.Context, cfg Config) ([]*perf.SuiteMeasurement, error) {
 	all := All(cfg)
 	out := make([]*perf.SuiteMeasurement, len(all))
-	err := par.DoErr(context.Background(), len(all), func(_, i int) error {
-		sm, err := Run(all[i], cfg)
+	err := par.DoErr(ctx, len(all), func(_, i int) error {
+		sm, err := RunContext(ctx, all[i], cfg)
 		if err != nil {
 			return err
 		}
@@ -176,7 +193,7 @@ func RunAll(cfg Config) ([]*perf.SuiteMeasurement, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stage.Wrap(stage.Measure, "", "", err)
 	}
 	return out, nil
 }

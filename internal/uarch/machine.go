@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"fmt"
 
 	"perspector/internal/perf"
@@ -199,6 +200,29 @@ func (m *Machine) chargeOSNoise(pmu *perf.Values) {
 // completion if the program ends earlier) and returns the PMU measurement.
 // Sampling follows cfg.SampleInterval.
 func (m *Machine) Run(prog Program, maxInstr uint64) (*perf.Measurement, error) {
+	return m.RunContext(context.Background(), prog, maxInstr)
+}
+
+// cancelStride bounds the instruction distance between context checks in
+// the simulation loops, so cancellation latency stays well under one
+// sample batch even when sampling is disabled or the interval is huge
+// (e.g. calibration probes with Samples = 1).
+const cancelStride = 4096
+
+// checkStride returns the context-poll period for a sample interval.
+func checkStride(sampleInterval uint64) uint64 {
+	if sampleInterval > 0 && sampleInterval < cancelStride {
+		return sampleInterval
+	}
+	return cancelStride
+}
+
+// RunContext is Run with cooperative cancellation: the loop polls ctx
+// every few thousand instructions (never more than one sample interval
+// apart) and returns ctx.Err() as soon as it fires. The partial
+// measurement is discarded — counters from an interrupted execution would
+// silently skew every downstream score.
+func (m *Machine) RunContext(ctx context.Context, prog Program, maxInstr uint64) (*perf.Measurement, error) {
 	if maxInstr == 0 {
 		return nil, fmt.Errorf("uarch: Run with maxInstr == 0")
 	}
@@ -207,6 +231,7 @@ func (m *Machine) Run(prog Program, maxInstr uint64) (*perf.Measurement, error) 
 	ts := &meas.Series
 	ts.Interval = m.cfg.SampleInterval
 
+	stride := checkStride(m.cfg.SampleInterval)
 	var prev perf.Values
 	var instr Instr
 	var executed uint64
@@ -219,6 +244,11 @@ func (m *Machine) Run(prog Program, maxInstr uint64) (*perf.Measurement, error) 
 			prev = *pmu
 			for c := perf.Counter(0); c < perf.NumCounters; c++ {
 				ts.Samples[c] = append(ts.Samples[c], float64(delta.Get(c)))
+			}
+		}
+		if executed%stride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"fmt"
 
 	"perspector/internal/perf"
@@ -63,6 +64,13 @@ func (mc *MultiCore) Reset() {
 // program. Sampling (cfg.SampleInterval) applies to the aggregate
 // instruction count.
 func (mc *MultiCore) RunParallel(progs []Program, maxInstrPerCore uint64) (*perf.Measurement, error) {
+	return mc.RunParallelContext(context.Background(), progs, maxInstrPerCore)
+}
+
+// RunParallelContext is RunParallel with cooperative cancellation; the
+// interleaved loop polls ctx on the same stride as Machine.RunContext,
+// measured in aggregate instructions.
+func (mc *MultiCore) RunParallelContext(ctx context.Context, progs []Program, maxInstrPerCore uint64) (*perf.Measurement, error) {
 	if len(progs) != len(mc.cores) {
 		return nil, fmt.Errorf("uarch: RunParallel got %d programs for %d cores", len(progs), len(mc.cores))
 	}
@@ -74,6 +82,7 @@ func (mc *MultiCore) RunParallel(progs []Program, maxInstrPerCore uint64) (*perf
 	ts := &meas.Series
 	ts.Interval = mc.cfg.SampleInterval
 
+	stride := checkStride(mc.cfg.SampleInterval)
 	executed := make([]uint64, len(progs))
 	done := make([]bool, len(progs))
 	remaining := len(progs)
@@ -99,6 +108,11 @@ func (mc *MultiCore) RunParallel(progs []Program, maxInstrPerCore uint64) (*perf
 				prev = *pmu
 				for c := perf.Counter(0); c < perf.NumCounters; c++ {
 					ts.Samples[c] = append(ts.Samples[c], float64(delta.Get(c)))
+				}
+			}
+			if total%stride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
 				}
 			}
 		}

@@ -32,11 +32,13 @@
 package perspector
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"perspector/internal/cluster"
 	"perspector/internal/core"
+	"perspector/internal/metric"
 	"perspector/internal/par"
 	"perspector/internal/perf"
 	"perspector/internal/suites"
@@ -150,8 +152,24 @@ func Workers() int { return par.Workers() }
 // deterministic for a given Config and parallel across workloads.
 func Measure(s Suite, cfg Config) (*Measurement, error) { return suites.Run(s, cfg) }
 
+// MeasureContext is Measure with end-to-end cancellation: ctx flows
+// through the worker-pool fan-out into every simulator loop, so a
+// cancelled or expired context stops the run within one sample batch
+// (partial measurements are discarded). Failures and cancellations carry
+// the measurement stage and the suite/workload that was executing;
+// errors.Is(err, context.Canceled) and context.DeadlineExceeded work
+// through the wrapping.
+func MeasureContext(ctx context.Context, s Suite, cfg Config) (*Measurement, error) {
+	return suites.RunContext(ctx, s, cfg)
+}
+
 // MeasureAll measures all six stock suites in paper order.
 func MeasureAll(cfg Config) ([]*Measurement, error) { return suites.RunAll(cfg) }
+
+// MeasureAllContext is MeasureAll with cancellation (see MeasureContext).
+func MeasureAllContext(ctx context.Context, cfg Config) ([]*Measurement, error) {
+	return suites.RunAllContext(ctx, cfg)
+}
 
 // MeasureMulticore executes every workload as `threads` homologous
 // process clones (private seeds and address spaces) on a shared-L3
@@ -162,16 +180,35 @@ func MeasureMulticore(s Suite, cfg Config, threads int) (*Measurement, error) {
 	return suites.RunMulticore(s, cfg, threads)
 }
 
+// MeasureMulticoreContext is MeasureMulticore with cancellation (see
+// MeasureContext).
+func MeasureMulticoreContext(ctx context.Context, s Suite, cfg Config, threads int) (*Measurement, error) {
+	return suites.RunMulticoreContext(ctx, s, cfg, threads)
+}
+
 // Score computes the four Perspector scores for one suite in isolation.
 // Coverage and Spread are normalized against the suite's own counter
 // ranges; use Compare to score several suites against shared ranges.
 func Score(m *Measurement, opts Options) (Scores, error) { return core.ScoreSuite(m, opts) }
+
+// ScoreContext is Score with cancellation: ctx flows through the scoring
+// engine's fan-outs (silhouette k-sweep, pairwise DTW, series
+// normalization), so a cancelled context aborts scoring promptly with a
+// stage-tagged error. Results are bit-identical to Score.
+func ScoreContext(ctx context.Context, m *Measurement, opts Options) (Scores, error) {
+	return metric.ScoreSuite(ctx, m, opts, nil)
+}
 
 // Compare scores several suites under the joint normalization of the
 // paper's Eq. 9–10, making the Coverage and Spread scores directly
 // comparable across suites — this is how Fig. 3 is produced.
 func Compare(ms []*Measurement, opts Options) ([]Scores, error) {
 	return core.ScoreSuites(ms, opts)
+}
+
+// CompareContext is Compare with cancellation (see ScoreContext).
+func CompareContext(ctx context.Context, ms []*Measurement, opts Options) ([]Scores, error) {
+	return metric.ScoreSuites(ctx, ms, opts, nil)
 }
 
 // EventGroup returns the counter subset for focused scoring (§IV-B):
@@ -260,12 +297,13 @@ func ScoreStability(runs []*Measurement, opts Options) (*Stability, error) {
 	return core.ScoreStability(runs, opts)
 }
 
-// ScoreTotalsOnly scores a measurement that carries only counter totals
-// (e.g. imported from a perf-derived CSV): ClusterScore, CoverageScore
-// and SpreadScore are computed; TrendScore is 0 because it needs sampled
-// time series.
+// ScoreTotalsOnly scores a measurement as if it carried only counter
+// totals (e.g. imported from a perf-derived CSV): any time series are
+// dropped, the trend metric's needs-series capability check skips it, and
+// the remaining three scores go through the same engine path as Score.
+// TrendScore is 0 in the result.
 func ScoreTotalsOnly(m *Measurement, opts Options) (Scores, error) {
-	return core.ScoreSuiteNoTrend(m, opts)
+	return metric.ScoreSuite(context.Background(), metric.TotalsOnly(m), opts, nil)
 }
 
 // RedundantPair is a pair of PMU counters whose values are strongly
