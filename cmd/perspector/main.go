@@ -7,10 +7,11 @@
 //	perspector list
 //	    List the stock suites, their workloads, and the PMU counters.
 //
-//	perspector score -suite parsec [-group all|llc|tlb] [-instr N] [-samples N] [-seed N]
-//	    Measure one suite and print its four Perspector scores.
+//	perspector score -suite parsec [-group all|llc|tlb] [-instr N] [-samples N] [-seed N] [-json]
+//	    Measure one suite and print its four Perspector scores. -json
+//	    emits the same ScoreSet document the perspectord service serves.
 //
-//	perspector compare [-suites parsec,spec17,...] [-group ...]
+//	perspector compare [-suites parsec,spec17,...] [-group ...] [-json]
 //	    Measure several suites and score them under joint normalization
 //	    (the paper's Fig. 3 methodology). Default: all six.
 //
@@ -45,6 +46,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +57,7 @@ import (
 	"perspector/internal/cli"
 	"perspector/internal/perf"
 	"perspector/internal/source"
+	"perspector/internal/store"
 )
 
 // stdout is the destination for command output; tests swap it for a
@@ -148,6 +151,20 @@ func (c *commonFlags) measureSuite(name string) (*perspector.Measurement, error)
 	return d.MeasureNamed(name)
 }
 
+// writeScoreSet emits the machine-readable ScoreSet document — the
+// same schema perspectord serves over HTTP, so CLI output pipes into
+// anything that consumes the service's results.
+func (c *commonFlags) writeScoreSet(kind string, scores []perspector.Scores) error {
+	set := store.New(kind, c.group, "simulator", &store.RunConfig{
+		Instructions: c.Instr,
+		Samples:      c.Samples,
+		Seed:         c.Seed,
+	}, scores)
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(set)
+}
+
 func (c *commonFlags) options() (perspector.Options, error) {
 	opts := perspector.DefaultOptions()
 	counters, err := perspector.EventGroup(c.group)
@@ -187,6 +204,7 @@ func runScore(args []string) error {
 	common := addCommon(fs)
 	suite := fs.String("suite", "", "suite to score (required)")
 	repeat := fs.Int("repeat", 1, "measure with N different seeds and report mean ± sd")
+	jsonOut := fs.Bool("json", false, "emit the ScoreSet JSON document perspectord serves instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -195,6 +213,9 @@ func runScore(args []string) error {
 	}
 	if *repeat < 1 {
 		return fmt.Errorf("score: -repeat must be >= 1")
+	}
+	if *jsonOut && *repeat > 1 {
+		return fmt.Errorf("score: -json reports single runs; it does not support -repeat")
 	}
 	opts, err := common.options()
 	if err != nil {
@@ -213,6 +234,9 @@ func runScore(args []string) error {
 		scores, err := perspector.ScoreContext(d.Context(), m, opts)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return common.writeScoreSet(store.KindScore, []perspector.Scores{scores})
 		}
 		cli.ScoreHeader(stdout)
 		cli.ScoreRow(stdout, scores)
@@ -242,8 +266,12 @@ func runCompare(args []string) error {
 	list := fs.String("suites", "parsec,spec17,ligra,lmbench,nbench,sgxgauge",
 		"comma-separated suites to compare")
 	rank := fs.Bool("rank", false, "print per-metric and overall rankings")
+	jsonOut := fs.Bool("json", false, "emit the ScoreSet JSON document perspectord serves instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut && *rank {
+		return fmt.Errorf("compare: -json and -rank are mutually exclusive")
 	}
 	var names []string
 	for _, name := range strings.Split(*list, ",") {
@@ -270,6 +298,9 @@ func runCompare(args []string) error {
 	scores, err := perspector.CompareContext(d.Context(), ms, opts)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return common.writeScoreSet(store.KindCompare, scores)
 	}
 	cli.ScoreHeader(stdout)
 	for _, s := range scores {

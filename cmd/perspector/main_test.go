@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"perspector"
 	"perspector/internal/stage"
+	"perspector/internal/store"
 )
 
 // capture swaps stdout for a buffer around fn.
@@ -50,6 +53,61 @@ func TestRunScore(t *testing.T) {
 	}
 }
 
+// TestRunScoreJSONRoundTrip checks the -json satellite: the document is
+// the service's ScoreSet schema and decodes back to the exact scores the
+// engine computed for the same flags.
+func TestRunScoreJSONRoundTrip(t *testing.T) {
+	out := capture(t, func() error { return runScore(fast("-suite", "nbench", "-json")) })
+	var set store.ScoreSet
+	if err := json.Unmarshal([]byte(out), &set); err != nil {
+		t.Fatalf("score -json is not valid JSON: %v\n%s", err, out)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if set.Kind != store.KindScore || set.Source != "simulator" || set.Group != "all" {
+		t.Fatalf("envelope: %+v", set)
+	}
+	if set.Config == nil || set.Config.Instructions != 20000 || set.Config.Samples != 10 || set.Config.Seed != 2023 {
+		t.Fatalf("config: %+v", set.Config)
+	}
+
+	// Reference scores through the library with the same parameters.
+	cfg := perspector.DefaultConfig()
+	cfg.Instructions, cfg.Samples = 20000, 10
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := perspector.Score(m, perspector.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Scores(); len(got) != 1 || got[0] != want {
+		t.Fatalf("decoded scores diverge from the engine:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestRunCompareJSONRoundTrip(t *testing.T) {
+	out := capture(t, func() error {
+		return runCompare(fast("-suites", "nbench,sgxgauge", "-json"))
+	})
+	var set store.ScoreSet
+	if err := json.Unmarshal([]byte(out), &set); err != nil {
+		t.Fatalf("compare -json is not valid JSON: %v\n%s", err, out)
+	}
+	if set.Kind != store.KindCompare || len(set.Suites) != 2 {
+		t.Fatalf("envelope: %+v", set)
+	}
+	if set.Suites[0].Suite != "nbench" || set.Suites[1].Suite != "sgxgauge" {
+		t.Fatalf("suite order: %+v", set.Suites)
+	}
+}
+
 func TestRunScoreErrors(t *testing.T) {
 	if err := runScore(nil); err == nil {
 		t.Error("missing -suite accepted")
@@ -62,6 +120,9 @@ func TestRunScoreErrors(t *testing.T) {
 	}
 	if err := runScore(fast("-suite", "nbench", "-group", "bogus")); err == nil {
 		t.Error("bogus group accepted")
+	}
+	if err := runScore(fast("-suite", "nbench", "-repeat", "2", "-json")); err == nil {
+		t.Error("-json with -repeat accepted")
 	}
 }
 
@@ -91,6 +152,9 @@ func TestRunCompareErrors(t *testing.T) {
 	}
 	if err := runCompare(fast("-suites", "bogus")); err == nil {
 		t.Error("bogus suite accepted")
+	}
+	if err := runCompare(fast("-suites", "nbench", "-json", "-rank")); err == nil {
+		t.Error("-json with -rank accepted")
 	}
 }
 

@@ -1,0 +1,169 @@
+// Command perspectord is the resident Perspector scoring service: a
+// job queue, an HTTP/JSON API, and a durable result store around the
+// same engine the CLI uses — scores served over HTTP are bit-identical
+// to `perspector score`/`compare` output.
+//
+// Quickstart:
+//
+//	perspectord -addr :8080 -store-dir ./perspectord-data -cache-dir ./perspector-cache
+//
+//	# submit a compare job for two stock suites
+//	curl -s -X POST localhost:8080/api/v1/jobs -d '{
+//	  "kind": "compare", "suites": ["parsec", "nbench"],
+//	  "config": {"instructions": 40000, "samples": 50, "seed": 2023}}'
+//
+//	# poll it, fetch the result (blocking until done), cancel another
+//	curl -s localhost:8080/api/v1/jobs/j-000001
+//	curl -s 'localhost:8080/api/v1/jobs/j-000001/result?wait=1'
+//	curl -s -X DELETE localhost:8080/api/v1/jobs/j-000002
+//
+// On SIGTERM/SIGINT the server drains: the listener stops accepting,
+// queued jobs are cancelled, and running jobs get -drain-timeout to
+// finish before their contexts are cancelled too.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"perspector/internal/cache"
+	"perspector/internal/jobs"
+	"perspector/internal/par"
+	"perspector/internal/server"
+	"perspector/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "perspectord:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed flag set, separated from run for testability.
+type options struct {
+	addr         string
+	storeDir     string
+	cacheDir     string
+	workers      int
+	jobWorkers   int
+	maxQueue     int
+	drainTimeout time.Duration
+	enablePprof  bool
+	logJSON      bool
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("perspectord", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.storeDir, "store-dir", "perspectord-data", "result store directory (empty = no durable results)")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "measurement cache directory (empty = no cache)")
+	fs.IntVar(&o.workers, "workers", 0, "engine parallelism per job (0 = all CPUs); results are identical at any count")
+	fs.IntVar(&o.jobWorkers, "jobs", 2, "jobs running concurrently")
+	fs.IntVar(&o.maxQueue, "max-queue", 64, "jobs allowed to wait in the queue")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long running jobs get to finish on shutdown")
+	fs.BoolVar(&o.enablePprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	fs.BoolVar(&o.logJSON, "log-json", false, "log in JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.jobWorkers < 1 {
+		return nil, fmt.Errorf("-jobs must be >= 1")
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if o.logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	if o.workers != 0 {
+		par.SetWorkers(o.workers)
+	}
+	var cacheStore *cache.Store
+	if o.cacheDir != "" {
+		if cacheStore, err = cache.Open(o.cacheDir); err != nil {
+			return err
+		}
+	}
+	var resultStore *store.Store
+	if o.storeDir != "" {
+		if resultStore, err = store.Open(o.storeDir); err != nil {
+			return err
+		}
+		defer resultStore.Close()
+	}
+
+	queue := jobs.New(jobs.EngineRunner(cacheStore), jobs.Options{
+		Workers:  o.jobWorkers,
+		MaxQueue: o.maxQueue,
+		Store:    resultStore,
+		Log:      log,
+	})
+	srv := server.New(server.Config{
+		Queue:       queue,
+		Store:       resultStore,
+		Cache:       cacheStore,
+		Log:         log,
+		EnablePprof: o.enablePprof,
+	})
+	httpSrv := &http.Server{
+		Addr:              o.addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("perspectord listening", "addr", o.addr,
+			"store", o.storeDir, "cache", o.cacheDir,
+			"jobs", o.jobWorkers, "engine_workers", par.Workers(), "pprof", o.enablePprof)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener died before any signal; drain what we admitted.
+		queue.Drain(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Info("draining", "timeout", o.drainTimeout)
+	deadline, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	// Stop the listener first so no new jobs arrive, then drain the
+	// queue: queued work is cancelled, running jobs get the deadline.
+	if err := httpSrv.Shutdown(deadline); err != nil {
+		log.Warn("http shutdown", "error", err)
+	}
+	if err := queue.Drain(deadline); err != nil {
+		log.Warn("drain cancelled running jobs at deadline", "error", err)
+	} else {
+		log.Info("drained cleanly")
+	}
+	return <-errc
+}

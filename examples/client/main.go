@@ -1,0 +1,133 @@
+// Command client is a minimal example consumer of the perspectord API:
+// it uploads a CSV counter matrix (workload × counter totals, as written
+// by `perspector dump` or `perspector export -format csv`), waits for
+// the scoring job to finish, and prints the returned score table.
+//
+// Usage:
+//
+//	client -addr http://localhost:8080 -f totals.csv -name mysuite
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// The wire types are declared locally on purpose: the example shows
+// exactly what an external consumer — which cannot import perspector's
+// internal packages — needs in order to talk to the service. []byte
+// fields travel as base64 strings, encoding/json's default.
+
+type traceUpload struct {
+	Format string `json:"format"`
+	Name   string `json:"name"`
+	Data   []byte `json:"data"`
+}
+
+type jobRequest struct {
+	Kind  string       `json:"kind"`
+	Trace *traceUpload `json:"trace"`
+}
+
+type submitResponse struct {
+	Job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	} `json:"job"`
+	Deduped bool `json:"deduped"`
+}
+
+type scoreSet struct {
+	Kind   string `json:"kind"`
+	Group  string `json:"group"`
+	Source string `json:"source"`
+	Suites []struct {
+		Suite    string  `json:"suite"`
+		Cluster  float64 `json:"cluster"`
+		Trend    float64 `json:"trend"`
+		Coverage float64 `json:"coverage"`
+		Spread   float64 `json:"spread"`
+	} `json:"suites"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "perspectord base URL")
+	file := flag.String("f", "", "CSV counter matrix to upload (required)")
+	name := flag.String("name", "uploaded", "suite name for the upload")
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "client: -f is required")
+		os.Exit(2)
+	}
+	if err := run(*addr, *file, *name, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "client:", err)
+		os.Exit(1)
+	}
+}
+
+// apiError extracts the service's {"error": "..."} body for a non-2xx
+// response.
+func apiError(resp *http.Response) error {
+	data, _ := io.ReadAll(resp.Body)
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, body.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, data)
+}
+
+func run(addr, file, name string, out io.Writer) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(jobRequest{
+		Kind:  "score",
+		Trace: &traceUpload{Format: "csv", Name: name, Data: data},
+	})
+	if err != nil {
+		return err
+	}
+
+	resp, err := http.Post(addr+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "job %s submitted (%s)\n", sub.Job.ID, sub.Job.State)
+
+	// wait=1 long-polls: the response arrives when the job is terminal.
+	resp, err = http.Get(addr + "/api/v1/jobs/" + sub.Job.ID + "/result?wait=1")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	var set scoreSet
+	if err := json.NewDecoder(resp.Body).Decode(&set); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%-14s %10s %10s %10s %10s\n", "suite", "cluster", "trend", "coverage", "spread")
+	for _, s := range set.Suites {
+		fmt.Fprintf(out, "%-14s %10.4f %10.2f %10.5f %10.4f\n",
+			s.Suite, s.Cluster, s.Trend, s.Coverage, s.Spread)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"perspector"
+	"perspector/internal/jobs"
+	"perspector/internal/server"
+)
+
+// TestClientAgainstLiveService drives the example client end to end
+// against an httptest instance of the real service: upload a CSV
+// matrix, long-poll the result, print the table.
+func TestClientAgainstLiveService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	q := jobs.New(jobs.EngineRunner(nil), jobs.Options{Workers: 1, Log: log})
+	ts := httptest.NewServer(server.New(server.Config{Queue: q, Log: log}).Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Drain(ctx)
+	}()
+
+	// Produce a real counter matrix the way a user would (export a
+	// measured suite as CSV).
+	cfg := perspector.DefaultConfig()
+	cfg.Instructions = 20_000
+	cfg.Samples = 10
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perspector.Measure(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, err := perspector.EventGroup("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := perspector.ExportCSV(&csv, m, counters); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "totals.csv")
+	if err := os.WriteFile(file, csv.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run(ts.URL, file, "nbench", &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"job j-", "submitted", "cluster", "trend", "coverage", "spread", "nbench"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("client output missing %q:\n%s", want, text)
+		}
+	}
+
+	// A missing file fails locally; an undecodable upload surfaces the
+	// service's 400 with its error text.
+	if err := run(ts.URL, filepath.Join(dir, "nope.csv"), "x", io.Discard); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,counter,matrix\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(ts.URL, bad, "x", io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("bad upload error = %v, want the service's 400", err)
+	}
+}

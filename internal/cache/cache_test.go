@@ -1,9 +1,11 @@
 package cache
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"perspector/internal/suites"
@@ -105,6 +107,100 @@ func TestCorruptEntryHealsAsMiss(t *testing.T) {
 	}
 	if _, ok := st.Get(key); !ok {
 		t.Fatal("healed entry did not hit")
+	}
+}
+
+// TestPutIsAtomicUnderConcurrentReaders pins down the temp-file +
+// os.Rename contract of Put: while writers rewrite an entry, a reader
+// must only ever observe a complete, valid entry — never a miss (the
+// file always exists once written, and rename swaps inodes atomically)
+// and never torn bytes (which Get would report by healing the entry
+// away). Rename must also leave no temp files behind.
+func TestPutIsAtomicUnderConcurrentReaders(t *testing.T) {
+	cfg := smallConfig()
+	s := suites.Nbench(cfg)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := suites.Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(s, cfg)
+	if err := st.Put(key, m); err != nil {
+		t.Fatal(err)
+	}
+	want, ok := st.Get(key)
+	if !ok {
+		t.Fatal("freshly written entry missed")
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, ok := st.Get(key)
+				if !ok {
+					// Would mean a reader caught the entry mid-write:
+					// ReadJSON failed and Get healed the file away.
+					select {
+					case errs <- fmt.Errorf("reader observed a torn or missing entry"):
+					default:
+					}
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					select {
+					case errs <- fmt.Errorf("reader observed a partial entry"):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 25; i++ {
+				if err := st.Put(key, m); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	tmps, err := filepath.Glob(filepath.Join(dir, "put-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("Put left temp files behind: %v", tmps)
 	}
 }
 

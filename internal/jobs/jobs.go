@@ -1,0 +1,578 @@
+// Package jobs is perspectord's job queue: scoring requests are
+// submitted, executed on a bounded number of workers, and their results
+// appended to the durable store. The queue owns the whole job lifecycle:
+//
+//	queued → running → done | failed | canceled
+//
+// Three service-grade behaviours live here rather than in the HTTP
+// layer, so they hold for any transport:
+//
+//   - Deduplication. Requests are content-addressed (the same hash
+//     family as internal/cache, extended with the scoring parameters).
+//     Submitting a request identical to one already queued or running
+//     returns the existing job instead of queueing twice; submitting one
+//     whose result is already in the store completes instantly from the
+//     stored document ("replayed").
+//   - Cancellation. A queued job is removed from the pending list and
+//     never starts; a running job has its context cancelled, which flows
+//     through the engine's par.DoErr fan-outs into the simulator loops,
+//     so it stops within one sample batch.
+//   - Drain. Drain stops admission, cancels everything still queued,
+//     and waits for running jobs to finish — up to the caller's
+//     deadline, after which the running contexts are cancelled too and
+//     the workers are waited out. No goroutine outlives Drain.
+//
+// Failures are reported structurally: the engine's *stage.Error tags
+// (stage, suite, workload) are lifted into the job snapshot, so a client
+// can see *where* a job died without parsing message strings.
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perspector/internal/stage"
+	"perspector/internal/store"
+	"perspector/internal/suites"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// States lists every state, for metrics exposition in a fixed order.
+func States() []State {
+	return []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+}
+
+// Terminal reports whether a job in state s has finished for good.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Submission errors a transport maps to client-visible statuses.
+var (
+	// ErrDraining rejects submissions during shutdown (HTTP 503).
+	ErrDraining = errors.New("jobs: queue is draining")
+	// ErrQueueFull rejects submissions past the admission bound (HTTP 429).
+	ErrQueueFull = errors.New("jobs: queue is full")
+	// ErrNotFound marks an unknown job ID (HTTP 404).
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// ErrorInfo is a job failure lifted into the snapshot: the engine's
+// stage tag plus the rendered cause.
+type ErrorInfo struct {
+	Stage    string `json:"stage,omitempty"`
+	Suite    string `json:"suite,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Message  string `json:"message"`
+	Canceled bool   `json:"canceled,omitempty"`
+}
+
+// errorInfo lifts err into the snapshot form.
+func errorInfo(err error) *ErrorInfo {
+	info := &ErrorInfo{Message: err.Error(), Canceled: stage.Canceled(err)}
+	var se *stage.Error
+	if errors.As(err, &se) {
+		info.Stage = string(se.Stage)
+		info.Suite = se.Suite
+		info.Workload = se.Workload
+	}
+	return info
+}
+
+// Job is the queue's internal record of one request. All mutable fields
+// are guarded by the queue mutex; clients only ever see Snapshots.
+type Job struct {
+	id  string
+	key string
+	req Request
+
+	state      State
+	stage      string
+	stageDone  int
+	stageTotal int
+	err        *ErrorInfo
+	result     *store.ScoreSet
+	replayed   bool
+	deduped    int
+
+	createdAt  time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Snapshot is the client-visible view of a job, safe to serialize.
+type Snapshot struct {
+	ID     string   `json:"id"`
+	Key    string   `json:"key"`
+	Kind   string   `json:"kind"`
+	Group  string   `json:"group"`
+	Suites []string `json:"suites,omitempty"`
+	Trace  string   `json:"trace,omitempty"`
+
+	State State `json:"state"`
+	// Stage is the engine stage the job is in (or died in): "measure",
+	// "score", "store".
+	Stage string `json:"stage,omitempty"`
+	// StageDone/StageTotal are the progress within Stage (e.g. suites
+	// measured out of suites requested).
+	StageDone  int `json:"stage_done,omitempty"`
+	StageTotal int `json:"stage_total,omitempty"`
+	// Replayed marks a job served straight from the result store.
+	Replayed bool `json:"replayed,omitempty"`
+	// Deduped counts how many later submissions were folded into this job.
+	Deduped int `json:"deduped,omitempty"`
+
+	CreatedAt  string `json:"created_at"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+
+	Error     *ErrorInfo `json:"error,omitempty"`
+	HasResult bool       `json:"has_result"`
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// Handle is the runner's view of its job: the request, progress
+// reporting, and the simulated-instruction account.
+type Handle struct {
+	q   *Queue
+	job *Job
+}
+
+// Request returns the normalized request being executed.
+func (h *Handle) Request() Request { return h.job.req }
+
+// SetStage enters a named stage with the given work-item total.
+func (h *Handle) SetStage(name string, total int) {
+	h.q.mu.Lock()
+	h.job.stage = name
+	h.job.stageDone = 0
+	h.job.stageTotal = total
+	h.q.mu.Unlock()
+}
+
+// Advance records n completed work items in the current stage.
+func (h *Handle) Advance(n int) {
+	h.q.mu.Lock()
+	h.job.stageDone += n
+	h.q.mu.Unlock()
+}
+
+// AddInstructions accounts n simulated instructions retired on behalf of
+// this job (cache hits don't simulate, so they don't count).
+func (h *Handle) AddInstructions(n uint64) { h.q.retired.Add(n) }
+
+// Runner executes one job: it measures and scores per the request and
+// returns the result document. Implementations honour ctx and return
+// stage-tagged errors; EngineRunner is the production implementation.
+type Runner func(ctx context.Context, h *Handle) (store.ScoreSet, error)
+
+// Options bounds the queue.
+type Options struct {
+	// Workers is the number of jobs that run concurrently (default 1).
+	// Each running job still parallelizes internally via internal/par, so
+	// this bounds memory and fairness, not CPU use.
+	Workers int
+	// MaxQueue is the number of jobs that may wait (default 64).
+	MaxQueue int
+	// Store receives every completed result; nil disables persistence
+	// (and with it replay).
+	Store *store.Store
+	// Log receives job lifecycle events; nil discards them.
+	Log *slog.Logger
+}
+
+// Queue runs jobs on a bounded worker set. Create with New, stop with
+// Drain.
+type Queue struct {
+	run Runner
+	opt Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*Job
+	order   []string
+	pending []*Job
+	// inflight maps a request's content key to its queued or running job,
+	// the dedup index. Entries leave at terminal transitions.
+	inflight map[string]*Job
+	counts   map[State]int
+	seq      int
+	draining bool
+
+	wg      sync.WaitGroup
+	retired atomic.Uint64
+}
+
+// New starts a queue with opt.Workers workers executing run.
+func New(run Runner, opt Options) *Queue {
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	if opt.MaxQueue < 1 {
+		opt.MaxQueue = 64
+	}
+	if opt.Log == nil {
+		opt.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	q := &Queue{
+		run:      run,
+		opt:      opt,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		counts:   make(map[State]int),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Submit validates, normalizes and admits a request. The returned bool
+// is true when the request was folded into an existing in-flight job
+// (deduplicated) rather than queued anew.
+func (q *Queue) Submit(req Request) (Snapshot, bool, error) {
+	if err := req.Normalize(); err != nil {
+		return Snapshot{}, false, err
+	}
+	key := req.Key()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return Snapshot{}, false, ErrDraining
+	}
+	if j, ok := q.inflight[key]; ok {
+		j.deduped++
+		q.opt.Log.Info("job deduplicated", "job", j.id, "key", key)
+		return q.snapshotLocked(j), true, nil
+	}
+	if q.counts[StateQueued] >= q.opt.MaxQueue {
+		return Snapshot{}, false, ErrQueueFull
+	}
+	q.seq++
+	j := &Job{
+		id:        fmt.Sprintf("j-%06d", q.seq),
+		key:       key,
+		req:       req,
+		state:     StateQueued,
+		createdAt: time.Now(),
+		done:      make(chan struct{}),
+	}
+	q.jobs[j.id] = j
+	q.order = append(q.order, j.id)
+	q.inflight[key] = j
+	q.pending = append(q.pending, j)
+	q.counts[StateQueued]++
+	q.opt.Log.Info("job queued", "job", j.id, "key", key, "kind", req.Kind, "suites", req.Suites)
+	q.cond.Signal()
+	return q.snapshotLocked(j), false, nil
+}
+
+// worker pops pending jobs until Drain closes admission and the pending
+// list is empty.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.pending) == 0 && !q.draining {
+			q.cond.Wait()
+		}
+		if len(q.pending) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		j := q.pending[0]
+		q.pending = q.pending[1:]
+
+		// Replay: the durable store already has this exact request's
+		// result; serve it without burning a simulation.
+		if set, ok := q.opt.Store.Get(j.key); ok {
+			j.startedAt = time.Now()
+			j.replayed = true
+			j.result = &set
+			q.finishLocked(j, StateDone, nil)
+			q.mu.Unlock()
+			continue
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
+		q.setStateLocked(j, StateRunning)
+		j.startedAt = time.Now()
+		q.mu.Unlock()
+		q.opt.Log.Info("job started", "job", j.id, "key", j.key)
+
+		set, err := q.run(ctx, &Handle{q: q, job: j})
+		cancel()
+
+		q.mu.Lock()
+		if err != nil {
+			if stage.Canceled(err) {
+				q.finishLocked(j, StateCanceled, err)
+			} else {
+				q.finishLocked(j, StateFailed, err)
+			}
+			q.mu.Unlock()
+			continue
+		}
+		j.stage = "store"
+		j.stageDone, j.stageTotal = 0, 1
+		if perr := q.opt.Store.Put(j.key, set); perr != nil {
+			// The result is still good; losing durability is logged, not
+			// fatal — the client gets its scores either way.
+			q.opt.Log.Error("result store append failed", "job", j.id, "error", perr)
+		}
+		j.stageDone = 1
+		j.result = &set
+		q.finishLocked(j, StateDone, nil)
+		q.mu.Unlock()
+	}
+}
+
+// setStateLocked moves j between non-terminal states.
+func (q *Queue) setStateLocked(j *Job, s State) {
+	q.counts[j.state]--
+	j.state = s
+	q.counts[s]++
+}
+
+// finishLocked moves j to a terminal state, records the cause, closes
+// the done channel and drops the dedup entry.
+func (q *Queue) finishLocked(j *Job, s State, err error) {
+	q.setStateLocked(j, s)
+	j.finishedAt = time.Now()
+	if err != nil {
+		j.err = errorInfo(err)
+	}
+	if q.inflight[j.key] == j {
+		delete(q.inflight, j.key)
+	}
+	close(j.done)
+	elapsed := j.finishedAt.Sub(j.createdAt)
+	switch {
+	case err != nil:
+		q.opt.Log.Info("job finished", "job", j.id, "state", string(s), "elapsed", elapsed, "error", err)
+	default:
+		q.opt.Log.Info("job finished", "job", j.id, "state", string(s), "elapsed", elapsed, "replayed", j.replayed)
+	}
+}
+
+// snapshotLocked renders the client view of j.
+func (q *Queue) snapshotLocked(j *Job) Snapshot {
+	s := Snapshot{
+		ID:         j.id,
+		Key:        j.key,
+		Kind:       j.req.Kind,
+		Group:      j.req.Group,
+		Suites:     append([]string(nil), j.req.Suites...),
+		State:      j.state,
+		Stage:      j.stage,
+		StageDone:  j.stageDone,
+		StageTotal: j.stageTotal,
+		Replayed:   j.replayed,
+		Deduped:    j.deduped,
+		CreatedAt:  stamp(j.createdAt),
+		StartedAt:  stamp(j.startedAt),
+		FinishedAt: stamp(j.finishedAt),
+		Error:      j.err,
+		HasResult:  j.result != nil,
+	}
+	if j.req.Trace != nil {
+		s.Trace = j.req.Trace.Name
+	}
+	return s
+}
+
+// Get returns the snapshot of job id.
+func (q *Queue) Get(id string) (Snapshot, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return q.snapshotLocked(j), true
+}
+
+// Result returns the completed document of job id. The bool is false
+// while the job is still in flight (or failed without a result).
+func (q *Queue) Result(id string) (store.ScoreSet, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return store.ScoreSet{}, false, ErrNotFound
+	}
+	if j.result == nil {
+		return store.ScoreSet{}, false, nil
+	}
+	return *j.result, true, nil
+}
+
+// Done exposes the job's completion channel for long-poll waiters; it is
+// closed at the terminal transition.
+func (q *Queue) Done(id string) (<-chan struct{}, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.done, nil
+}
+
+// List returns every job, oldest first.
+func (q *Queue) List() []Snapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Snapshot, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.snapshotLocked(q.jobs[id]))
+	}
+	return out
+}
+
+// Cancel stops job id: a queued job never starts, a running job has its
+// context cancelled (the state flips to canceled when the runner
+// unwinds), a terminal job is left as-is. The returned snapshot is the
+// state after the call.
+func (q *Queue) Cancel(id string) (Snapshot, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		for i, p := range q.pending {
+			if p == j {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				break
+			}
+		}
+		q.finishLocked(j, StateCanceled, context.Canceled)
+	case StateRunning:
+		j.cancel()
+	}
+	return q.snapshotLocked(j), nil
+}
+
+// Drain shuts the queue down: admission stops immediately, queued jobs
+// are cancelled, and running jobs get until ctx's deadline to finish —
+// then their contexts are cancelled and Drain waits for the workers to
+// unwind. After Drain returns no queue goroutine is left. The returned
+// error is ctx.Err() when the deadline forced cancellations, nil when
+// everything finished in time.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	q.draining = true
+	for _, j := range q.pending {
+		q.finishLocked(j, StateCanceled, fmt.Errorf("%w: server draining", context.Canceled))
+	}
+	q.pending = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		for _, j := range q.jobs {
+			if j.state == StateRunning {
+				j.cancel()
+			}
+		}
+		q.mu.Unlock()
+		<-workersDone
+		return ctx.Err()
+	}
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.counts[StateQueued]
+}
+
+// Counts returns the number of jobs per state.
+func (q *Queue) Counts() map[State]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[State]int, len(q.counts))
+	for s, n := range q.counts {
+		out[s] = n
+	}
+	return out
+}
+
+// InstructionsRetired returns the total simulated instructions retired
+// on behalf of jobs (cache hits and replays excluded — they simulate
+// nothing).
+func (q *Queue) InstructionsRetired() uint64 { return q.retired.Load() }
+
+// requestKeySchema folds into every request key, so a change to the key
+// composition invalidates dedup/replay matches instead of aliasing.
+const requestKeySchema = 1
+
+// hashRequest builds the content address of a normalized request. Suite
+// measurements contribute their internal/cache content address, so a
+// request key changes exactly when a cache key would — same machine
+// model, same invalidation discipline.
+func hashRequest(r *Request) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "request-schema=%d\nkind=%s\ngroup=%s\n", requestKeySchema, r.Kind, r.Group)
+	if r.Trace != nil {
+		sum := sha256.Sum256(r.Trace.Data)
+		fmt.Fprintf(h, "trace-format=%s\ntrace-name=%s\ntrace-sha=%s\n",
+			r.Trace.Format, r.Trace.Name, hex.EncodeToString(sum[:]))
+	} else {
+		cfg := r.SimConfig()
+		for i, name := range r.Suites {
+			s, err := suites.ByName(name, cfg)
+			if err != nil {
+				// Normalize already resolved every name; an error here can
+				// only mean the request was mutated after normalization.
+				fmt.Fprintf(h, "suite[%d]=unresolvable:%s\n", i, name)
+				continue
+			}
+			fmt.Fprintf(h, "suite[%d]=%s\n", i, sourceKey(s, cfg))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

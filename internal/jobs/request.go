@@ -1,0 +1,155 @@
+package jobs
+
+import (
+	"bytes"
+	"fmt"
+
+	"perspector/internal/perf"
+	"perspector/internal/source"
+	"perspector/internal/store"
+	"perspector/internal/suites"
+	"perspector/internal/trace"
+)
+
+// MaxTraceBytes bounds one uploaded trace. The six stock suites at the
+// default config serialize to single-digit megabytes; 64 MiB leaves
+// room for much longer real-hardware traces while keeping one request
+// from exhausting the process.
+const MaxTraceBytes = 64 << 20
+
+// TraceUpload is an inline measurement upload: the bytes of a trace
+// file in the internal/trace JSON or CSV schema.
+type TraceUpload struct {
+	// Format is "json" (totals + series) or "csv" (totals only; the
+	// engine's capability check then skips the TrendScore).
+	Format string `json:"format"`
+	// Name names the uploaded suite (CSV carries no name of its own).
+	Name string `json:"name,omitempty"`
+	// Data is the raw file content.
+	Data []byte `json:"data"`
+}
+
+// Request describes one scoring job. The zero values of Group and
+// Config normalize to the paper defaults.
+type Request struct {
+	// Kind is store.KindScore (one suite, own normalization) or
+	// store.KindCompare (several suites, joint normalization).
+	Kind string `json:"kind"`
+	// Suites names stock suites to simulate; empty for trace uploads.
+	Suites []string `json:"suites,omitempty"`
+	// Group selects the focused event group: "all", "llc", "tlb".
+	Group string `json:"group,omitempty"`
+	// Config is the simulation configuration; zero fields take the
+	// defaults (400k instructions, 100 samples, seed 2023).
+	Config store.RunConfig `json:"config"`
+	// Trace, when set, scores uploaded measurements instead of
+	// simulating. Mutually exclusive with Suites.
+	Trace *TraceUpload `json:"trace,omitempty"`
+}
+
+// Normalize fills defaults and validates the request in place. It must
+// succeed before Key, SimConfig or a Runner may be used.
+func (r *Request) Normalize() error {
+	switch r.Kind {
+	case store.KindScore, store.KindCompare:
+	case "":
+		return fmt.Errorf("jobs: request needs a kind (%q or %q)", store.KindScore, store.KindCompare)
+	default:
+		return fmt.Errorf("jobs: unknown kind %q", r.Kind)
+	}
+	if r.Group == "" {
+		r.Group = "all"
+	}
+	if _, err := perf.GroupByName(r.Group); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	def := suites.DefaultConfig()
+	if r.Config.Instructions == 0 {
+		r.Config.Instructions = def.Instructions
+	}
+	if r.Config.Samples == 0 {
+		r.Config.Samples = def.Samples
+	}
+	if r.Config.Seed == 0 {
+		r.Config.Seed = def.Seed
+	}
+	if r.Config.Samples < 2 {
+		return fmt.Errorf("jobs: samples %d < 2", r.Config.Samples)
+	}
+	if r.Trace != nil {
+		if len(r.Suites) > 0 {
+			return fmt.Errorf("jobs: request has both suites and a trace upload")
+		}
+		if r.Kind != store.KindScore {
+			return fmt.Errorf("jobs: trace uploads are single-suite: kind must be %q", store.KindScore)
+		}
+		if r.Trace.Format == "" {
+			r.Trace.Format = "json"
+		}
+		if r.Trace.Format != "json" && r.Trace.Format != "csv" {
+			return fmt.Errorf("jobs: unknown trace format %q", r.Trace.Format)
+		}
+		if r.Trace.Name == "" {
+			r.Trace.Name = "uploaded"
+		}
+		if len(r.Trace.Data) == 0 {
+			return fmt.Errorf("jobs: trace upload is empty")
+		}
+		if len(r.Trace.Data) > MaxTraceBytes {
+			return fmt.Errorf("jobs: trace upload exceeds %d bytes", MaxTraceBytes)
+		}
+		return nil
+	}
+	if len(r.Suites) == 0 {
+		return fmt.Errorf("jobs: request needs suites or a trace upload")
+	}
+	if r.Kind == store.KindScore && len(r.Suites) != 1 {
+		return fmt.Errorf("jobs: kind %q scores exactly one suite, got %d", store.KindScore, len(r.Suites))
+	}
+	cfg := r.SimConfig()
+	seen := make(map[string]bool, len(r.Suites))
+	for _, name := range r.Suites {
+		if seen[name] {
+			return fmt.Errorf("jobs: suite %q listed twice", name)
+		}
+		seen[name] = true
+		if _, err := suites.ByName(name, cfg); err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+	}
+	return nil
+}
+
+// SimConfig renders the request's simulation config: the paper's
+// Table-II machine under the requested budget/samples/seed.
+func (r *Request) SimConfig() suites.Config {
+	cfg := suites.DefaultConfig()
+	cfg.Instructions = r.Config.Instructions
+	cfg.Samples = r.Config.Samples
+	cfg.Seed = r.Config.Seed
+	return cfg
+}
+
+// Key returns the request's content address (see hashRequest).
+func (r *Request) Key() string { return hashRequest(r) }
+
+// sourceKey is the measurement content address of one suite under cfg —
+// by construction the same key internal/cache files the measurement
+// under, which is what makes job dedup and the result store line up
+// with the measurement cache.
+func sourceKey(s suites.Suite, cfg suites.Config) string {
+	return source.Simulator{Cfg: cfg}.Key(s)
+}
+
+// ParseTrace decodes an upload into a measurement. Both the submit path
+// (early 400s) and the runner use it, so a trace that admits also runs.
+func ParseTrace(t *TraceUpload) (*perf.SuiteMeasurement, error) {
+	switch t.Format {
+	case "json":
+		return trace.ReadJSON(bytes.NewReader(t.Data))
+	case "csv":
+		return trace.ReadCSV(bytes.NewReader(t.Data), t.Name)
+	default:
+		return nil, fmt.Errorf("jobs: unknown trace format %q", t.Format)
+	}
+}

@@ -1,0 +1,306 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"perspector"
+	"perspector/internal/cache"
+	"perspector/internal/jobs"
+	"perspector/internal/metric"
+	"perspector/internal/server"
+	"perspector/internal/store"
+	"perspector/internal/suites"
+)
+
+// e2eConfig is a scaled-down determinism config: small enough to run in
+// test time, large enough that every scoring path is exercised.
+func e2eConfig() suites.Config {
+	cfg := suites.DefaultConfig()
+	cfg.Instructions = 20_000
+	cfg.Samples = 10
+	cfg.Seed = 2023
+	return cfg
+}
+
+func discardLog() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// waitResult long-polls the result endpoint until the job is terminal
+// and decodes the ScoreSet.
+func waitResult(t *testing.T, env *testEnv, id string) store.ScoreSet {
+	t.Helper()
+	code, data := env.do(t, "GET", "/api/v1/jobs/"+id+"/result?wait=1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result for %s: %d %s", id, code, data)
+	}
+	var set store.ScoreSet
+	if err := json.Unmarshal(data, &set); err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metrics exposition lacks %s:\n%s", series, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestEndToEndScoresMatchDirectEngine is the acceptance test for the
+// daemon: jobs submitted over HTTP — a stock-suite score, uploaded
+// JSON/CSV traces, a two-suite compare, and a replayed resubmission —
+// must return bit-identical scores to calling ScoreContext /
+// CompareContext directly, and /metrics must account for all of it.
+func TestEndToEndScoresMatchDirectEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	cfg := e2eConfig()
+
+	cacheStore, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultStore, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jobs.New(jobs.EngineRunner(cacheStore), jobs.Options{Workers: 1, Store: resultStore, Log: discardLog()})
+	ts := httptest.NewServer(server.New(server.Config{
+		Queue: q,
+		Store: resultStore,
+		Cache: cacheStore,
+		Log:   discardLog(),
+	}).Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Drain(ctx)
+		resultStore.Close()
+	}()
+	env := &testEnv{ts: ts, q: q, st: resultStore}
+
+	// Reference scores straight through the public library API — the
+	// path the CLI takes, with no daemon, queue or cache involved.
+	ctx := context.Background()
+	opts := perspector.DefaultOptions()
+	nbSuite, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmSuite, err := perspector.SuiteByName("lmbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbM, err := perspector.MeasureContext(ctx, nbSuite, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmM, err := perspector.MeasureContext(ctx, lmSuite, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScore, err := perspector.ScoreContext(ctx, nbM, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCompare, err := perspector.CompareContext(ctx, []*perspector.Measurement{nbM, lmM}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqCfg := map[string]any{"instructions": cfg.Instructions, "samples": cfg.Samples, "seed": cfg.Seed}
+	submit := func(body map[string]any) jobs.Snapshot {
+		t.Helper()
+		code, data := env.do(t, "POST", "/api/v1/jobs", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", code, data)
+		}
+		var sub submitResp
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub.Job
+	}
+
+	// (a) Stock-suite score job.
+	scoreJob := submit(map[string]any{"kind": "score", "suites": []string{"nbench"}, "config": reqCfg})
+	scoreSet := waitResult(t, env, scoreJob.ID)
+	if scoreSet.Kind != store.KindScore || scoreSet.Source != "simulator" || scoreSet.Group != "all" {
+		t.Fatalf("score ScoreSet envelope: %+v", scoreSet)
+	}
+	if got := scoreSet.Scores(); len(got) != 1 || got[0] != wantScore {
+		t.Fatalf("HTTP score diverges from ScoreContext:\n got %x\nwant %x", got, wantScore)
+	}
+
+	// (b) Uploaded JSON trace (totals + series) of the same measurement.
+	var jsonTrace bytes.Buffer
+	if err := perspector.ExportJSON(&jsonTrace, nbM); err != nil {
+		t.Fatal(err)
+	}
+	traceJob := submit(map[string]any{
+		"kind":  "score",
+		"trace": map[string]any{"format": "json", "name": "nbench", "data": jsonTrace.Bytes()},
+	})
+	traceSet := waitResult(t, env, traceJob.ID)
+	if traceSet.Source != "trace" {
+		t.Fatalf("trace ScoreSet envelope: %+v", traceSet)
+	}
+	if got := traceSet.Scores(); len(got) != 1 || got[0] != wantScore {
+		t.Fatalf("uploaded-trace score diverges from ScoreContext:\n got %x\nwant %x", got, wantScore)
+	}
+
+	// (b') Uploaded CSV trace: totals only, so the trend metric is
+	// skipped — compare against scoring the re-imported matrix directly.
+	allCounters, err := perspector.EventGroup("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvTrace bytes.Buffer
+	if err := perspector.ExportCSV(&csvTrace, nbM, allCounters); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := perspector.ImportCSV(bytes.NewReader(csvTrace.Bytes()), "nbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := metric.ScoreSuite(ctx, imported, metric.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantCSV.Trend != 0 {
+		t.Fatalf("totals-only reference unexpectedly has a trend score: %+v", wantCSV)
+	}
+	csvJob := submit(map[string]any{
+		"kind":  "score",
+		"trace": map[string]any{"format": "csv", "name": "nbench", "data": csvTrace.Bytes()},
+	})
+	csvSet := waitResult(t, env, csvJob.ID)
+	if got := csvSet.Scores(); len(got) != 1 || got[0] != wantCSV {
+		t.Fatalf("uploaded-CSV score diverges from direct engine:\n got %x\nwant %x", got, wantCSV)
+	}
+
+	// (c) Compare job over two suites. nbench was measured by job (a),
+	// so this job must hit the cache for it and still match exactly.
+	compareJob := submit(map[string]any{"kind": "compare", "suites": []string{"nbench", "lmbench"}, "config": reqCfg})
+	compareSet := waitResult(t, env, compareJob.ID)
+	if compareSet.Kind != store.KindCompare {
+		t.Fatalf("compare ScoreSet envelope: %+v", compareSet)
+	}
+	if got := compareSet.Scores(); len(got) != 2 || got[0] != wantCompare[0] || got[1] != wantCompare[1] {
+		t.Fatalf("HTTP compare diverges from CompareContext:\n got %x\nwant %x", got, wantCompare)
+	}
+
+	// (d) Resubmitting the finished score job replays from the durable
+	// store: same scores, no new simulation.
+	replayJob := submit(map[string]any{"kind": "score", "suites": []string{"nbench"}, "config": reqCfg})
+	replaySet := waitResult(t, env, replayJob.ID)
+	if got := replaySet.Scores(); len(got) != 1 || got[0] != wantScore {
+		t.Fatalf("replayed score diverges:\n got %x\nwant %x", got, wantScore)
+	}
+	code, data := env.do(t, "GET", "/api/v1/jobs/"+replayJob.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("replay snapshot: %d", code)
+	}
+	var replaySnap jobs.Snapshot
+	if err := json.Unmarshal(data, &replaySnap); err != nil {
+		t.Fatal(err)
+	}
+	if !replaySnap.Replayed {
+		t.Fatalf("resubmission of a stored result was not replayed: %+v", replaySnap)
+	}
+
+	// The exposition accounts for all five jobs: instructions retired
+	// only by the three real simulations (trace uploads and the replay
+	// retire nothing, the compare job's nbench measurement was a cache
+	// hit), four distinct stored documents, one cache hit in three
+	// lookups.
+	_, body := env.do(t, "GET", "/metrics", nil)
+	text := string(body)
+	if got := metricValue(t, text, `perspectord_jobs{state="done"}`); got != 5 {
+		t.Errorf("done jobs metric = %v, want 5", got)
+	}
+	wantRetired := float64(cfg.Instructions) * float64(len(nbM.Workloads)+len(lmM.Workloads))
+	if got := metricValue(t, text, "perspectord_instructions_retired_total"); got != wantRetired {
+		t.Errorf("instructions retired = %v, want %v", got, wantRetired)
+	}
+	if got := metricValue(t, text, "perspectord_results_stored"); got != 4 {
+		t.Errorf("results stored = %v, want 4", got)
+	}
+	if got := metricValue(t, text, "perspectord_cache_hits_total"); got != 1 {
+		t.Errorf("cache hits = %v, want 1", got)
+	}
+	if got := metricValue(t, text, "perspectord_cache_misses_total"); got != 2 {
+		t.Errorf("cache misses = %v, want 2", got)
+	}
+}
+
+// TestServerShutdownDrainsWithoutGoroutineLeak repeatedly stands up the
+// full stack, submits a job far too slow to finish, and tears the stack
+// down with a short drain deadline — mirroring the SIGTERM path of cmd/
+// perspectord. The goroutine count must settle back to the baseline.
+func TestServerShutdownDrainsWithoutGoroutineLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	// Warm up the engine's long-lived worker pool so it is part of the
+	// baseline (same pattern as internal/suites/cancel_test.go).
+	cfg := e2eConfig()
+	s, err := suites.ByName("nbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := suites.RunContext(context.Background(), s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		q := jobs.New(jobs.EngineRunner(nil), jobs.Options{Workers: 2, Log: discardLog()})
+		ts := httptest.NewServer(server.New(server.Config{Queue: q, Log: discardLog()}).Handler())
+		body := fmt.Sprintf(`{"kind":"score","suites":["parsec"],"config":{"instructions":200000000,"samples":100,"seed":%d}}`, i+1)
+		resp, err := ts.Client().Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d", resp.StatusCode)
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		q.Drain(dctx) // deadline exceeded is expected: the job is forced out
+		cancel()
+		ts.Close()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"perspector/internal/cache"
+	"perspector/internal/jobs"
+	"perspector/internal/store"
+)
+
+// Metrics accumulates request-level counters and renders the /metrics
+// exposition. Job/queue/cache/store gauges are not accumulated here —
+// they are read live from their owners at exposition time, so the
+// numbers can never drift from the source of truth.
+type Metrics struct {
+	mu sync.Mutex
+	// requests counts served requests by route and status code.
+	requests map[string]map[int]int64
+	// latency accumulates per-route duration (sum of seconds + count),
+	// the two series a rate() / quantile-free latency panel needs.
+	latencySum   map[string]float64
+	latencyCount map[string]int64
+	started      time.Time
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:     make(map[string]map[int]int64),
+		latencySum:   make(map[string]float64),
+		latencyCount: make(map[string]int64),
+		started:      time.Now(),
+	}
+}
+
+// ObserveRequest records one served request.
+func (m *Metrics) ObserveRequest(route string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+	m.latencySum[route] += elapsed.Seconds()
+	m.latencyCount[route]++
+}
+
+// Write renders the Prometheus text exposition: the accumulated request
+// counters plus live gauges from the queue, result store and
+// measurement cache. Series are emitted in sorted label order, so the
+// output is stable for tests and diffing.
+func (m *Metrics) Write(w io.Writer, q *jobs.Queue, st *store.Store, cs *cache.Store) {
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintln(w, "# HELP perspectord_requests_total HTTP requests served, by route and status code.")
+	fmt.Fprintln(w, "# TYPE perspectord_requests_total counter")
+	for _, route := range routes {
+		codes := make([]int, 0, len(m.requests[route]))
+		for c := range m.requests[route] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "perspectord_requests_total{route=%q,code=\"%d\"} %d\n", route, c, m.requests[route][c])
+		}
+	}
+	fmt.Fprintln(w, "# HELP perspectord_request_duration_seconds Total request latency, by route.")
+	fmt.Fprintln(w, "# TYPE perspectord_request_duration_seconds summary")
+	for _, route := range routes {
+		fmt.Fprintf(w, "perspectord_request_duration_seconds_sum{route=%q} %g\n", route, m.latencySum[route])
+		fmt.Fprintf(w, "perspectord_request_duration_seconds_count{route=%q} %d\n", route, m.latencyCount[route])
+	}
+	uptime := time.Since(m.started).Seconds()
+	m.mu.Unlock()
+
+	if q != nil {
+		counts := q.Counts()
+		fmt.Fprintln(w, "# HELP perspectord_jobs Jobs by lifecycle state.")
+		fmt.Fprintln(w, "# TYPE perspectord_jobs gauge")
+		for _, state := range jobs.States() {
+			fmt.Fprintf(w, "perspectord_jobs{state=%q} %d\n", string(state), counts[state])
+		}
+		fmt.Fprintln(w, "# HELP perspectord_queue_depth Jobs waiting to run.")
+		fmt.Fprintln(w, "# TYPE perspectord_queue_depth gauge")
+		fmt.Fprintf(w, "perspectord_queue_depth %d\n", q.Depth())
+		fmt.Fprintln(w, "# HELP perspectord_instructions_retired_total Simulated instructions retired by jobs (cache hits retire nothing).")
+		fmt.Fprintln(w, "# TYPE perspectord_instructions_retired_total counter")
+		fmt.Fprintf(w, "perspectord_instructions_retired_total %d\n", q.InstructionsRetired())
+	}
+	if st != nil {
+		fmt.Fprintln(w, "# HELP perspectord_results_stored Distinct result documents in the store.")
+		fmt.Fprintln(w, "# TYPE perspectord_results_stored gauge")
+		fmt.Fprintf(w, "perspectord_results_stored %d\n", st.Len())
+	}
+	if cs != nil {
+		hits, misses := cs.Hits(), cs.Misses()
+		fmt.Fprintln(w, "# HELP perspectord_cache_hits_total Measurement cache hits.")
+		fmt.Fprintln(w, "# TYPE perspectord_cache_hits_total counter")
+		fmt.Fprintf(w, "perspectord_cache_hits_total %d\n", hits)
+		fmt.Fprintln(w, "# HELP perspectord_cache_misses_total Measurement cache misses.")
+		fmt.Fprintln(w, "# TYPE perspectord_cache_misses_total counter")
+		fmt.Fprintf(w, "perspectord_cache_misses_total %d\n", misses)
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintln(w, "# HELP perspectord_cache_hit_ratio Hit fraction of measurement cache lookups since start.")
+		fmt.Fprintln(w, "# TYPE perspectord_cache_hit_ratio gauge")
+		fmt.Fprintf(w, "perspectord_cache_hit_ratio %g\n", ratio)
+	}
+	fmt.Fprintln(w, "# HELP perspectord_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE perspectord_uptime_seconds gauge")
+	fmt.Fprintf(w, "perspectord_uptime_seconds %g\n", uptime)
+}

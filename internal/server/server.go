@@ -1,0 +1,329 @@
+// Package server is perspectord's HTTP/JSON API over the job queue and
+// the result store. The layering is strict:
+//
+//	server (transport, observability)
+//	  → jobs (queue, dedup, cancellation, drain)
+//	    → engine (internal/source + internal/metric, untouched)
+//	      → store (durable ScoreSets)
+//
+// The server owns nothing but translation and observability: request
+// decoding and status mapping, structured request/job logging via
+// log/slog, the /metrics exposition, and optional net/http/pprof. All
+// scoring semantics live below it, which is what keeps scores served
+// over HTTP bit-identical to CLI scores.
+//
+// # API
+//
+//	POST   /api/v1/jobs          submit a score/compare job (202; 200 when deduplicated)
+//	GET    /api/v1/jobs          list jobs, oldest first
+//	GET    /api/v1/jobs/{id}     poll one job: state, stage, progress
+//	GET    /api/v1/jobs/{id}/result[?wait=1]
+//	                             fetch the ScoreSet; wait=1 long-polls
+//	                             until the job is terminal
+//	DELETE /api/v1/jobs/{id}     cancel (queued: immediate; running: ctx)
+//	GET    /api/v1/results       list stored results (content key, kind, suites)
+//	GET    /api/v1/results/{key} fetch one stored ScoreSet
+//	GET    /api/v1/suites        list the stock suites
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus-style text exposition
+//	GET    /debug/pprof/         only with Config.EnablePprof
+//
+// Errors are JSON: {"error": "..."} plus a matching status code; job
+// submission maps jobs.ErrQueueFull to 429 and jobs.ErrDraining to 503.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"perspector/internal/cache"
+	"perspector/internal/jobs"
+	"perspector/internal/store"
+	"perspector/internal/suites"
+)
+
+// Config wires the server's collaborators.
+type Config struct {
+	// Queue executes and tracks jobs. Required.
+	Queue *jobs.Queue
+	// Store serves the /api/v1/results endpoints; nil disables them
+	// (404 with an explanatory error).
+	Store *store.Store
+	// Cache, when set, feeds the cache hit/miss gauges of /metrics.
+	Cache *cache.Store
+	// Log receives request logs; nil means slog.Default.
+	Log *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// Server is the assembled handler; build with New.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds the route table.
+func New(cfg Config) *Server {
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	s := &Server{cfg: cfg, metrics: NewMetrics(), mux: http.NewServeMux()}
+	s.handle("POST /api/v1/jobs", s.handleSubmit)
+	s.handle("GET /api/v1/jobs", s.handleListJobs)
+	s.handle("GET /api/v1/jobs/{id}", s.handleGetJob)
+	s.handle("GET /api/v1/jobs/{id}/result", s.handleJobResult)
+	s.handle("DELETE /api/v1/jobs/{id}", s.handleCancelJob)
+	s.handle("GET /api/v1/results", s.handleListResults)
+	s.handle("GET /api/v1/results/{key}", s.handleGetResult)
+	s.handle("GET /api/v1/suites", s.handleSuites)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.handle("GET /debug/pprof/", pprof.Index)
+		s.handle("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.handle("GET /debug/pprof/profile", pprof.Profile)
+		s.handle("GET /debug/pprof/symbol", pprof.Symbol)
+		s.handle("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the root handler (all middleware applied).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// handle mounts one route with the logging/metrics middleware. The
+// pattern doubles as the route label in metrics and logs, so
+// cardinality stays bounded no matter what paths clients send.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.instrument(pattern, h))
+}
+
+// statusWriter captures the response code for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.ObserveRequest(route, sw.code, elapsed)
+		s.cfg.Log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", sw.code,
+			"elapsed", elapsed,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// writeJSON renders v with a status code; encoding errors after the
+// header is out can only be logged.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.cfg.Log.Error("response encoding failed", "error", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+	// Job carries the snapshot when the error concerns a job that does
+	// exist (e.g. fetching the result of a failed job).
+	Job *jobs.Snapshot `json:"job,omitempty"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse wraps the snapshot with the dedup verdict, so a client
+// can tell "my job" from "an identical job that was already in flight".
+type submitResponse struct {
+	Job jobs.Snapshot `json:"job"`
+	// Deduped is true when the request folded into an existing job.
+	Deduped bool `json:"deduped"`
+}
+
+// maxBodyBytes bounds a submission body: the trace payload bound plus
+// base64 and JSON envelope overhead.
+const maxBodyBytes = jobs.MaxTraceBytes*4/3 + 1<<20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req jobs.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	// Reject undecodable uploads at submission time with a 400 — not
+	// minutes later as a failed job. The runner parses the same bytes
+	// with the same parser, so admit implies run.
+	if t := req.Trace; t != nil && len(t.Data) > 0 && len(t.Data) <= jobs.MaxTraceBytes {
+		probe := *t
+		if probe.Format == "" {
+			probe.Format = "json"
+		}
+		if probe.Name == "" {
+			probe.Name = "uploaded"
+		}
+		if probe.Format == "json" || probe.Format == "csv" {
+			if _, err := jobs.ParseTrace(&probe); err != nil {
+				s.writeError(w, http.StatusBadRequest, "trace upload does not parse: %v", err)
+				return
+			}
+		}
+	}
+	snap, deduped, err := s.cfg.Queue.Submit(req)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		s.writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+snap.ID)
+	code := http.StatusAccepted
+	if deduped {
+		code = http.StatusOK
+	}
+	s.writeJSON(w, code, submitResponse{Job: snap, Deduped: deduped})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.cfg.Queue.List()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.cfg.Queue.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.cfg.Queue.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		done, err := s.cfg.Queue.Done(id)
+		if err != nil {
+			s.writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		select {
+		case <-done:
+		case <-r.Context().Done():
+			// The client went away mid-wait; nothing useful to send.
+			s.writeError(w, http.StatusServiceUnavailable, "client disconnected while waiting")
+			return
+		}
+		snap, _ = s.cfg.Queue.Get(id)
+	}
+	if !snap.State.Terminal() {
+		// Not ready: hand back the snapshot so pollers see progress.
+		s.writeJSON(w, http.StatusAccepted, snap)
+		return
+	}
+	set, ok, err := s.cfg.Queue.Result(id)
+	if err != nil || !ok {
+		msg := "job finished without a result"
+		if snap.Error != nil {
+			msg = snap.Error.Message
+		}
+		s.writeJSON(w, http.StatusConflict, errorBody{Error: msg, Job: &snap})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, set)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.cfg.Queue.Cancel(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleListResults(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		s.writeError(w, http.StatusNotFound, "no result store configured (start perspectord with -store-dir)")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"results": s.cfg.Store.List()})
+}
+
+func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		s.writeError(w, http.StatusNotFound, "no result store configured (start perspectord with -store-dir)")
+		return
+	}
+	key := r.PathValue("key")
+	set, ok := s.cfg.Store.Get(key)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no result stored under %q", key)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, set)
+}
+
+// suiteInfo is one stock suite in the /api/v1/suites listing.
+type suiteInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Workloads   []string `json:"workloads"`
+}
+
+func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
+	all := suites.All(suites.DefaultConfig())
+	out := make([]suiteInfo, len(all))
+	for i, st := range all {
+		names := make([]string, len(st.Specs))
+		for j := range st.Specs {
+			names[j] = st.Specs[j].Name
+		}
+		out[i] = suiteInfo{Name: st.Name, Description: st.Description, Workloads: names}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"suites": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.Write(w, s.cfg.Queue, s.cfg.Store, s.cfg.Cache)
+}

@@ -1,0 +1,124 @@
+// Package store holds the machine-readable scoring document shared by
+// the CLI and the perspectord service, and an append-only on-disk store
+// of completed documents keyed by the same content address as
+// internal/cache.
+//
+// The ScoreSet document is the single encoding of "a scoring run's
+// result": `perspector score -json` and `perspector compare -json`
+// print it, the perspectord result endpoints serve it, and the result
+// store persists it. Because encoding/json round-trips float64 values
+// bit-exactly (it emits the shortest decimal that parses back to the
+// same bits), a ScoreSet that travels CLI → file → HTTP → store → client
+// still carries the engine's scores down to the last bit — CLI and API
+// outputs are interchangeable.
+package store
+
+import (
+	"fmt"
+
+	"perspector/internal/metric"
+)
+
+// SchemaVersion identifies the ScoreSet JSON schema; readers reject
+// unknown versions. Bump it whenever a field changes meaning.
+const SchemaVersion = 1
+
+// Kinds of scoring runs a ScoreSet can describe.
+const (
+	// KindScore is a single-suite run: Coverage and Spread are
+	// normalized against the suite's own counter ranges.
+	KindScore = "score"
+	// KindCompare is a multi-suite run under joint normalization
+	// (the paper's Fig. 3 methodology).
+	KindCompare = "compare"
+)
+
+// RunConfig is the simulation configuration a ScoreSet was produced
+// under. It is nil for trace-file input, where the numbers were not
+// simulated by this process.
+type RunConfig struct {
+	Instructions uint64 `json:"instructions"`
+	Samples      int    `json:"samples"`
+	Seed         uint64 `json:"seed"`
+}
+
+// SuiteScores is one suite's four Perspector metrics. The +/- direction
+// convention matches the CLI table: lower cluster/spread and higher
+// trend/coverage are better.
+type SuiteScores struct {
+	Suite    string  `json:"suite"`
+	Cluster  float64 `json:"cluster"`
+	Trend    float64 `json:"trend"`
+	Coverage float64 `json:"coverage"`
+	Spread   float64 `json:"spread"`
+}
+
+// ScoreSet is the complete result document of one scoring run.
+type ScoreSet struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	// Group is the focused event group ("all", "llc", "tlb").
+	Group string `json:"group,omitempty"`
+	// Source says where the measurements came from: "simulator" or
+	// "trace".
+	Source string        `json:"source,omitempty"`
+	Config *RunConfig    `json:"config,omitempty"`
+	Suites []SuiteScores `json:"suites"`
+}
+
+// New assembles a ScoreSet from engine scores.
+func New(kind, group, source string, cfg *RunConfig, scores []metric.Scores) ScoreSet {
+	return ScoreSet{
+		Schema: SchemaVersion,
+		Kind:   kind,
+		Group:  group,
+		Source: source,
+		Config: cfg,
+		Suites: FromScores(scores),
+	}
+}
+
+// FromScores converts engine scores to the document rows.
+func FromScores(scores []metric.Scores) []SuiteScores {
+	out := make([]SuiteScores, len(scores))
+	for i, s := range scores {
+		out[i] = SuiteScores{
+			Suite:    s.Suite,
+			Cluster:  s.Cluster,
+			Trend:    s.Trend,
+			Coverage: s.Coverage,
+			Spread:   s.Spread,
+		}
+	}
+	return out
+}
+
+// Scores converts the document rows back to engine scores — the inverse
+// of FromScores, value-exact.
+func (ss ScoreSet) Scores() []metric.Scores {
+	out := make([]metric.Scores, len(ss.Suites))
+	for i, s := range ss.Suites {
+		out[i] = metric.Scores{
+			Suite:    s.Suite,
+			Cluster:  s.Cluster,
+			Trend:    s.Trend,
+			Coverage: s.Coverage,
+			Spread:   s.Spread,
+		}
+	}
+	return out
+}
+
+// Validate rejects documents this schema version cannot interpret.
+func (ss ScoreSet) Validate() error {
+	if ss.Schema != SchemaVersion {
+		return fmt.Errorf("store: unsupported ScoreSet schema %d (want %d)", ss.Schema, SchemaVersion)
+	}
+	if ss.Kind != KindScore && ss.Kind != KindCompare {
+		return fmt.Errorf("store: unknown ScoreSet kind %q", ss.Kind)
+	}
+	if len(ss.Suites) == 0 {
+		return fmt.Errorf("store: ScoreSet with no suites")
+	}
+	return nil
+}

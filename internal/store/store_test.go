@@ -1,0 +1,226 @@
+package store
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perspector/internal/metric"
+)
+
+func sampleSet(kind string, suites ...string) ScoreSet {
+	scores := make([]metric.Scores, len(suites))
+	for i, s := range suites {
+		scores[i] = metric.Scores{
+			Suite:    s,
+			Cluster:  0x1.67d5bbfac6474p-03,
+			Trend:    0x1.45b6bdfe054f7p+06,
+			Coverage: 0x1.54bae03eec78dp-04,
+			Spread:   0x1.d89d89d89d89fp-02,
+		}
+	}
+	return New(kind, "all", "simulator",
+		&RunConfig{Instructions: 40_000, Samples: 50, Seed: 2023}, scores)
+}
+
+// TestScoreSetJSONRoundTripExact pins the interchangeability guarantee:
+// a ScoreSet that goes through JSON comes back with bit-identical
+// float64 scores, including awkward values.
+func TestScoreSetJSONRoundTripExact(t *testing.T) {
+	set := sampleSet(KindScore, "parsec")
+	set.Suites[0].Coverage = math.Nextafter(0.1, 1) // not exactly representable
+	set.Suites[0].Spread = 1.0 / 3.0
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ScoreSet
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range set.Suites {
+		if set.Suites[i] != back.Suites[i] {
+			t.Fatalf("row %d not bit-identical:\n  out %+v\n  in  %+v", i, set.Suites[i], back.Suites[i])
+		}
+	}
+	if *back.Config != *set.Config || back.Kind != set.Kind || back.Group != set.Group {
+		t.Fatalf("metadata mangled: %+v vs %+v", back, set)
+	}
+	// And the metric.Scores conversion is its own inverse.
+	again := FromScores(back.Scores())
+	for i := range again {
+		if again[i] != back.Suites[i] {
+			t.Fatalf("Scores/FromScores not inverse at %d", i)
+		}
+	}
+}
+
+func TestStorePutGetListAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k1", sampleSet(KindScore, "parsec")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k2", sampleSet(KindCompare, "parsec", "spec17")); err != nil {
+		t.Fatal(err)
+	}
+	// Newest record for a key wins.
+	shadow := sampleSet(KindScore, "parsec")
+	shadow.Suites[0].Cluster = 42
+	if err := st.Put("k1", shadow); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+	got, ok := st.Get("k1")
+	if !ok || got.Suites[0].Cluster != 42 {
+		t.Fatalf("k1 after reopen = %+v ok=%v, want shadowed record", got, ok)
+	}
+	if _, ok := st.Get("k3"); ok {
+		t.Fatal("Get on absent key succeeded")
+	}
+	ls := st.List()
+	if len(ls) != 2 || ls[0].Key != "k1" || ls[1].Key != "k2" {
+		t.Fatalf("List = %+v", ls)
+	}
+	if ls[1].Kind != KindCompare || len(ls[1].Suites) != 2 {
+		t.Fatalf("summary lost fields: %+v", ls[1])
+	}
+}
+
+// TestStoreTornTailRecovers simulates a crash mid-append: the log's last
+// line is truncated. Open must keep every complete record, ignore the
+// torn tail, and seal the file so later appends stay parseable.
+func TestStoreTornTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k1", sampleSet(KindScore, "parsec")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k2", sampleSet(KindScore, "nbench")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	path := filepath.Join(dir, "results.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("k1"); !ok {
+		t.Fatal("complete record lost after torn tail")
+	}
+	if _, ok := st.Get("k2"); ok {
+		t.Fatal("torn record resurrected")
+	}
+	// Appends after recovery must not merge with the torn bytes.
+	if err := st.Put("k3", sampleSet(KindScore, "ligra")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, ok := st.Get("k3"); !ok {
+		t.Fatal("record appended after recovery lost")
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (k1, k3)", st.Len())
+	}
+}
+
+// TestStoreAppendOnly asserts the mechanism itself: Put never rewrites
+// earlier bytes, it only appends.
+func TestStoreAppendOnly(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put("k1", sampleSet(KindScore, "parsec")); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k2", sampleSet(KindScore, "nbench")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(after), string(before)) {
+		t.Fatal("second Put rewrote earlier bytes")
+	}
+	if len(after) <= len(before) {
+		t.Fatal("second Put appended nothing")
+	}
+}
+
+func TestNilStorePassThrough(t *testing.T) {
+	var st *Store
+	if err := st.Put("k", sampleSet(KindScore, "parsec")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("k"); ok {
+		t.Fatal("nil store hit")
+	}
+	if st.List() != nil || st.Len() != 0 {
+		t.Fatal("nil store lists entries")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put("", sampleSet(KindScore, "parsec")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	bad := sampleSet(KindScore, "parsec")
+	bad.Schema = 99
+	if err := st.Put("k", bad); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if err := st.Put("k", ScoreSet{Schema: SchemaVersion, Kind: "mystery", Suites: sampleSet(KindScore, "x").Suites}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
