@@ -1,0 +1,210 @@
+// Command benchjson runs the simulator benchmark set under the testing
+// package's benchmark driver and writes the results as machine-readable
+// JSON. The committed BENCH_simulator.json at the repository root is the
+// instructions/sec trajectory of the hot-loop work: regenerate it on the
+// same class of machine with
+//
+//	go run ./cmd/benchjson -out BENCH_simulator.json
+//
+// and compare simulated_instr_per_sec across commits. The benchmark
+// bodies mirror BenchmarkSimulateSuite (suite level) and the
+// BenchmarkCacheAccess / BenchmarkTLBTranslate / BenchmarkMachineStep
+// microbenchmarks (component level), so a regression can be localized to
+// the layer that caused it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	perspector "perspector"
+	"perspector/internal/rng"
+	"perspector/internal/uarch"
+)
+
+// result is one benchmark's measurement.
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Iterations is the b.N the driver settled on.
+	Iterations int `json:"iterations"`
+	// SimulatedInstrPerOp is how many simulated instructions one op
+	// executes (0 for benchmarks that are not instruction-granular).
+	SimulatedInstrPerOp uint64 `json:"simulated_instr_per_op,omitempty"`
+	// SimulatedInstrPerSec is the headline throughput figure.
+	SimulatedInstrPerSec float64 `json:"simulated_instr_per_sec,omitempty"`
+}
+
+type report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	Benchmarks  []result  `json:"benchmarks"`
+}
+
+func main() {
+	testing.Init() // register test.* flags so benchtime can be set below
+	out := flag.String("out", "BENCH_simulator.json", "output path")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
+	flag.Parse()
+	// The driver reads the package-level benchtime; there is no public
+	// per-run knob, so set it the way `go test -benchtime` would.
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	for _, bench := range []struct {
+		name       string
+		instrPerOp func(r testing.BenchmarkResult) uint64
+		body       func(b *testing.B)
+	}{
+		{"SimulateSuite", simulateSuiteInstr, benchSimulateSuite},
+		{"MachineStep", func(r testing.BenchmarkResult) uint64 { return 1 }, benchMachineStep},
+		{"CacheAccess", nil, benchCacheAccess},
+		{"TLBTranslate", nil, benchTLBTranslate},
+	} {
+		r := testing.Benchmark(bench.body)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s did not run (benchmark failed?)\n", bench.name)
+			os.Exit(1)
+		}
+		res := result{
+			Name:       bench.name,
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			Iterations: r.N,
+		}
+		if bench.instrPerOp != nil {
+			res.SimulatedInstrPerOp = bench.instrPerOp(r)
+			res.SimulatedInstrPerSec = float64(res.SimulatedInstrPerOp) / (res.NsPerOp / 1e9)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Printf("%-14s %12.1f ns/op", res.Name, res.NsPerOp)
+		if res.SimulatedInstrPerSec > 0 {
+			fmt.Printf("  %.3g simulated instr/sec", res.SimulatedInstrPerSec)
+		}
+		fmt.Println()
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// benchSimulateSuite mirrors BenchmarkSimulateSuite: the Nbench suite end
+// to end at the paper's full configuration.
+func benchSimulateSuite(b *testing.B) {
+	cfg := perspector.DefaultConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perspector.Measure(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func simulateSuiteInstr(testing.BenchmarkResult) uint64 {
+	cfg := perspector.DefaultConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		return 0
+	}
+	return cfg.Instructions * uint64(len(s.Specs))
+}
+
+// strideProg mirrors the deterministic generator of the in-tree
+// BenchmarkMachineStep: a fixed kind mix whose own cost is a few ALU ops,
+// so the measurement isolates the machine's per-instruction step.
+type strideProg struct {
+	n, limit uint64
+}
+
+func (p *strideProg) Name() string { return "stride" }
+
+func (p *strideProg) Next(in *uarch.Instr) bool {
+	if p.n >= p.limit {
+		return false
+	}
+	i := p.n
+	p.n++
+	switch i % 8 {
+	case 0, 3:
+		*in = uarch.Instr{Kind: uarch.Load, Addr: i * 24}
+	case 5:
+		*in = uarch.Instr{Kind: uarch.Store, Addr: i * 40}
+	case 6:
+		*in = uarch.Instr{Kind: uarch.Branch, PC: 0x400000 + i%32*4, Taken: i%3 != 0}
+	default:
+		*in = uarch.Instr{Kind: uarch.ALU}
+	}
+	return true
+}
+
+func (p *strideProg) Reset() { p.n = 0 }
+
+func benchMachineStep(b *testing.B) {
+	m, err := uarch.NewMachine(uarch.DefaultMachineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := uint64(b.N)
+	b.ResetTimer()
+	if _, err := m.Run(&strideProg{limit: n}, n); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchCacheAccess(b *testing.B) {
+	c, err := uarch.NewCache(uarch.CacheConfig{Name: "b", SizeB: 32 << 10, LineB: 64, Ways: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(src.Intn(1 << 22))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095])
+	}
+}
+
+func benchTLBTranslate(b *testing.B) {
+	tlb, err := uarch.NewTLB(uarch.DefaultTLBConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(src.Intn(1 << 30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlb.Translate(addrs[i&4095])
+	}
+}

@@ -1,0 +1,100 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"perspector/internal/store"
+)
+
+// instrRunner simulates a fixed instruction count and sleeps for a
+// seed-selected duration, so successive jobs produce instruction
+// throughputs with a known ordering even on a noisy machine.
+func instrRunner(instr uint64, sleepBySeed map[uint64]time.Duration) Runner {
+	return func(ctx context.Context, h *Handle) (store.ScoreSet, error) {
+		h.AddInstructions(instr)
+		time.Sleep(sleepBySeed[h.Request().Config.Seed])
+		return fakeResult(), nil
+	}
+}
+
+func TestSimulatedInstrPerSecEWMA(t *testing.T) {
+	q := New(instrRunner(1_000_000, map[uint64]time.Duration{
+		1: 5 * time.Millisecond,
+		2: 250 * time.Millisecond, // ~50x slower => rate must drop
+	}), Options{Workers: 1})
+	if got := q.SimulatedInstrPerSec(); got != 0 {
+		t.Fatalf("throughput EWMA before any job = %g, want 0", got)
+	}
+
+	s1, _, err := q.Submit(scoreReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, s1.ID, StateDone)
+	first := q.SimulatedInstrPerSec()
+	if first <= 0 {
+		t.Fatalf("throughput EWMA after first job = %g, want > 0", first)
+	}
+	// 1e6 instructions over >= 5ms bounds the rate from above.
+	if first > 200e6 {
+		t.Fatalf("throughput EWMA %g implausibly above the 1e6/5ms ceiling", first)
+	}
+
+	// The second job is far slower, so its observation sits below the
+	// current average and the EWMA must move down — but with alpha 0.25 it
+	// blends rather than snapping to the new rate, so it stays positive.
+	s2, _, err := q.Submit(scoreReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, s2.ID, StateDone)
+	second := q.SimulatedInstrPerSec()
+	if second <= 0 || second >= first {
+		t.Fatalf("throughput EWMA after slower job = %g, want in (0, %g)", second, first)
+	}
+
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstrRateSkipsReplays pins that jobs replayed from the result
+// store (which simulate nothing) leave the EWMA untouched.
+func TestInstrRateSkipsReplays(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	q := New(instrRunner(500_000, map[uint64]time.Duration{
+		1: 2 * time.Millisecond,
+	}), Options{Workers: 1, Store: st})
+
+	s1, _, err := q.Submit(scoreReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, s1.ID, StateDone)
+	after := q.SimulatedInstrPerSec()
+	if after <= 0 {
+		t.Fatalf("EWMA after simulating job = %g, want > 0", after)
+	}
+
+	// Same request again: served from the store, simulating nothing.
+	s2, _, err := q.Submit(scoreReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, q, s2.ID, StateDone)
+	if !snap.Replayed {
+		t.Fatalf("second identical submission not replayed: %+v", snap)
+	}
+	if got := q.SimulatedInstrPerSec(); got != after {
+		t.Fatalf("replay moved the EWMA: %g -> %g", after, got)
+	}
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -117,6 +117,11 @@ type Job struct {
 	startedAt  time.Time
 	finishedAt time.Time
 
+	// instr counts simulated instructions retired by this job. Atomic:
+	// the runner's measurement fan-out adds from worker goroutines while
+	// snapshots read under the queue mutex.
+	instr atomic.Uint64
+
 	cancel context.CancelFunc
 	done   chan struct{}
 }
@@ -186,7 +191,10 @@ func (h *Handle) Advance(n int) {
 
 // AddInstructions accounts n simulated instructions retired on behalf of
 // this job (cache hits don't simulate, so they don't count).
-func (h *Handle) AddInstructions(n uint64) { h.q.retired.Add(n) }
+func (h *Handle) AddInstructions(n uint64) {
+	h.job.instr.Add(n)
+	h.q.retired.Add(n)
+}
 
 // Runner executes one job: it measures and scores per the request and
 // returns the result document. Implementations honour ctx and return
@@ -228,6 +236,13 @@ type Queue struct {
 
 	wg      sync.WaitGroup
 	retired atomic.Uint64
+	// instrPerSec is an exponentially weighted moving average of per-job
+	// simulated-instruction throughput, folded at each terminal transition
+	// of a job that simulated anything (guarded by mu). It answers "how
+	// fast is the simulator under this service's real mix" — the serving
+	// analogue of BENCH_simulator.json's instr/sec trajectory.
+	instrPerSec float64
+	haveInstrPS bool
 }
 
 // New starts a queue with opt.Workers workers executing run.
@@ -374,6 +389,20 @@ func (q *Queue) finishLocked(j *Job, s State, err error) {
 	}
 	if q.inflight[j.key] == j {
 		delete(q.inflight, j.key)
+	}
+	// Fold this job's simulated-instruction rate into the throughput
+	// EWMA. Replays and pure cache hits retire nothing and leave the
+	// average untouched; the first real observation initializes it.
+	if n := j.instr.Load(); n > 0 && !j.startedAt.IsZero() {
+		if d := j.finishedAt.Sub(j.startedAt).Seconds(); d > 0 {
+			const alpha = 0.25
+			rate := float64(n) / d
+			if !q.haveInstrPS {
+				q.instrPerSec, q.haveInstrPS = rate, true
+			} else {
+				q.instrPerSec += alpha * (rate - q.instrPerSec)
+			}
+		}
 	}
 	close(j.done)
 	elapsed := j.finishedAt.Sub(j.createdAt)
@@ -545,6 +574,14 @@ func (q *Queue) Counts() map[State]int {
 // on behalf of jobs (cache hits and replays excluded — they simulate
 // nothing).
 func (q *Queue) InstructionsRetired() uint64 { return q.retired.Load() }
+
+// SimulatedInstrPerSec returns the EWMA of per-job simulated-instruction
+// throughput, 0 until the first job that actually simulated completes.
+func (q *Queue) SimulatedInstrPerSec() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.instrPerSec
+}
 
 // requestKeySchema folds into every request key, so a change to the key
 // composition invalidates dedup/replay matches instead of aliasing.

@@ -12,7 +12,10 @@
 //     the random streams of existing ones.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
 // It is used both to seed xoshiro256** and to derive child seeds.
@@ -27,7 +30,9 @@ func splitMix64(state *uint64) uint64 {
 // Source is a deterministic xoshiro256** generator.
 // The zero value is not valid; use New.
 type Source struct {
-	s [4]uint64
+	// The four state words are scalar fields rather than a [4]uint64:
+	// single-node field selectors keep Uint64 within the inlining budget.
+	s0, s1, s2, s3 uint64
 	// gauss caches the second deviate of the Box-Muller pair.
 	gauss    float64
 	hasGauss bool
@@ -37,30 +42,33 @@ type Source struct {
 func New(seed uint64) *Source {
 	var sm = seed
 	var s Source
-	for i := range s.s {
-		s.s[i] = splitMix64(&sm)
-	}
+	s.s0 = splitMix64(&sm)
+	s.s1 = splitMix64(&sm)
+	s.s2 = splitMix64(&sm)
+	s.s3 = splitMix64(&sm)
 	// xoshiro must not start in the all-zero state; SplitMix64 of any
 	// seed cannot produce four zero outputs, but guard regardless.
-	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
-		s.s[0] = 0x9e3779b97f4a7c15
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 0x9e3779b97f4a7c15
 	}
 	return &s
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
 // Uint64 returns the next 64 uniformly distributed bits.
+//
+// This is the reference xoshiro256** step with the state-update
+// dependency chain substituted out, so each new word is one expression
+// over the old state. The flattening keeps the function under the
+// compiler's inlining budget — it sits on the hottest simulator path,
+// called once or twice per simulated instruction.
 func (s *Source) Uint64() uint64 {
-	result := rotl(s.s[1]*5, 7) * 9
-	t := s.s[1] << 17
-	s.s[2] ^= s.s[0]
-	s.s[3] ^= s.s[1]
-	s.s[1] ^= s.s[2]
-	s.s[0] ^= s.s[3]
-	s.s[2] ^= t
-	s.s[3] = rotl(s.s[3], 45)
-	return result
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	r := bits.RotateLeft64(s1*5, 7) * 9
+	s.s0 = s0 ^ s3 ^ s1
+	s.s1 = s1 ^ s2 ^ s0
+	s.s2 = s2 ^ s0 ^ s1<<17
+	s.s3 = bits.RotateLeft64(s3^s1, 45)
+	return r
 }
 
 // Split derives an independent child generator. The child stream is a
@@ -80,21 +88,28 @@ func (s *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
 	}
-	// Lemire's nearly-divisionless bounded sampling.
+	// Lemire's nearly-divisionless bounded sampling. The 128-bit product
+	// comes from the bits.Mul64 intrinsic (one host multiply). Hot batch
+	// loops that draw many values with one fixed bound hand-inline this
+	// scheme with a precomputed threshold (see workload/pattern.go); the
+	// streams are draw-for-draw identical because the rejection condition
+	// lo < bound && lo < threshold reduces to lo < threshold (the
+	// threshold 2^64 mod bound is always below bound).
 	bound := uint64(n)
 	x := s.Uint64()
-	hi, lo := mul128(x, bound)
+	hi, lo := bits.Mul64(x, bound)
 	if lo < bound {
 		threshold := -bound % bound
 		for lo < threshold {
 			x = s.Uint64()
-			hi, lo = mul128(x, bound)
+			hi, lo = bits.Mul64(x, bound)
 		}
 	}
 	return int(hi)
 }
 
 // mul128 returns the 128-bit product of a and b as (hi, lo).
+// Kept (test-covered) as the portable reference for bits.Mul64.
 func mul128(a, b uint64) (hi, lo uint64) {
 	const mask = 0xffffffff
 	aLo, aHi := a&mask, a>>32

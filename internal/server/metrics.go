@@ -97,6 +97,9 @@ func (m *Metrics) Write(w io.Writer, q *jobs.Queue, st *store.Store, cs *cache.S
 		fmt.Fprintln(w, "# HELP perspectord_instructions_retired_total Simulated instructions retired by jobs (cache hits retire nothing).")
 		fmt.Fprintln(w, "# TYPE perspectord_instructions_retired_total counter")
 		fmt.Fprintf(w, "perspectord_instructions_retired_total %d\n", q.InstructionsRetired())
+		fmt.Fprintln(w, "# HELP perspector_simulated_instructions_per_second EWMA (alpha 0.25) of per-job simulated instruction throughput, folded at job completion; 0 until a simulating job finishes.")
+		fmt.Fprintln(w, "# TYPE perspector_simulated_instructions_per_second gauge")
+		fmt.Fprintf(w, "perspector_simulated_instructions_per_second %g\n", q.SimulatedInstrPerSec())
 	}
 	if st != nil {
 		fmt.Fprintln(w, "# HELP perspectord_results_stored Distinct result documents in the store.")

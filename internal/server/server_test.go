@@ -369,6 +369,7 @@ func TestMetricsExposition(t *testing.T) {
 		"perspectord_queue_depth 0",
 		"perspectord_results_stored 1",
 		`perspectord_request_duration_seconds_count{route="POST /api/v1/jobs"} 1`,
+		"perspector_simulated_instructions_per_second",
 		"perspectord_uptime_seconds",
 	} {
 		if !strings.Contains(text, want) {

@@ -43,7 +43,11 @@ type Simulator struct {
 	Cfg suites.Config
 }
 
-// Measure runs every workload of s on a fresh simulated machine.
+// Measure runs every workload of s on the simulator. Machines are drawn
+// from uarch.DefaultMachinePool (a reused machine is Reset on checkout, so
+// results are identical to fresh allocation): long-running consumers such
+// as perspectord jobs stop paying a multi-MB L3 tag allocation per
+// workload per request.
 func (src Simulator) Measure(ctx context.Context, s suites.Suite) (*perf.SuiteMeasurement, error) {
 	return suites.RunContext(ctx, s, src.Cfg)
 }

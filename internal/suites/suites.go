@@ -166,11 +166,17 @@ func runOne(ctx context.Context, spec workload.Spec, cfg Config) (*perf.Measurem
 	if mc.SampleInterval == 0 {
 		mc.SampleInterval = 1
 	}
-	m, err := uarch.NewMachine(mc)
+	// Machines come from the shared pool: a reused machine is Reset on
+	// Get, so it is indistinguishable from a fresh one, and the 12288-set
+	// L3 allocation is paid once per configuration instead of once per
+	// workload.
+	m, err := uarch.DefaultMachinePool.Get(mc)
 	if err != nil {
 		return nil, err
 	}
-	return m.RunContext(ctx, prog, spec.Instructions)
+	meas, err := m.RunContext(ctx, prog, spec.Instructions)
+	uarch.DefaultMachinePool.Put(m)
+	return meas, err
 }
 
 // RunAll executes every Table-III suite and returns the measurements in

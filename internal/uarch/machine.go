@@ -3,6 +3,7 @@ package uarch
 import (
 	"context"
 	"fmt"
+	"unsafe"
 
 	"perspector/internal/perf"
 )
@@ -29,9 +30,9 @@ const (
 // describe Branch instructions; Fault marks a Syscall that raises a page
 // fault (e.g. mmap-backed I/O).
 type Instr struct {
-	Kind  InstrKind
 	Addr  uint64
 	PC    uint64
+	Kind  InstrKind
 	Taken bool
 	Fault bool
 }
@@ -45,6 +46,18 @@ type Program interface {
 	Next(instr *Instr) bool
 	// Reset rewinds the program to the beginning with its original seed.
 	Reset()
+}
+
+// BatchProgram is a Program that can emit instructions in blocks,
+// avoiding one interface dispatch per dynamic instruction. NextBatch
+// fills dst from the front and returns how many instructions it produced;
+// a short count means the program ended. The instruction sequence MUST be
+// byte-identical to what repeated Next calls would produce — the golden
+// equivalence tests pin both paths to the same counters.
+type BatchProgram interface {
+	Program
+	// NextBatch produces up to len(dst) instructions into dst[0:n].
+	NextBatch(dst []Instr) int
 }
 
 // MachineConfig assembles the full core model. Latencies are in cycles.
@@ -110,7 +123,8 @@ type Machine struct {
 	tlb        *TLB
 	bp         *BranchPredictor
 	pageBits   uint
-	touched    map[uint64]struct{} // pages already faulted in
+	touched    pageBitmap // pages already faulted in
+	batch      []Instr    // block buffer reused across RunContext calls
 	// noiseAcc carries fractional OS-noise event counts between samples
 	// so small rates accumulate deterministically.
 	noiseAcc [perf.NumCounters]float64
@@ -141,11 +155,16 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if cfg.DRAMCycles <= 0 || cfg.MispredictPenalty < 0 {
 		return nil, fmt.Errorf("uarch: invalid latency configuration")
 	}
-	return &Machine{
+	pageBits, err := exactLog2(uint64(cfg.TLB.PageB))
+	if err != nil {
+		return nil, fmt.Errorf("uarch: page size: %w", err)
+	}
+	m := &Machine{
 		cfg: cfg, l1: l1, l2: l2, l3: l3, tlb: tlb, bp: bp,
-		pageBits: log2(uint64(cfg.TLB.PageB)),
-		touched:  make(map[uint64]struct{}),
-	}, nil
+		pageBits: pageBits,
+	}
+	m.touched.init()
+	return m, nil
 }
 
 // Reset restores the machine to power-on state (cold caches, cold TLB,
@@ -156,14 +175,15 @@ func (m *Machine) Reset() {
 	m.l3.Reset()
 	m.tlb.Reset()
 	m.bp.Reset()
-	m.touched = make(map[uint64]struct{})
+	m.touched.reset()
 	m.noiseAcc = [perf.NumCounters]float64{}
 }
 
 // osNoiseRates gives the per-kernel-instruction event rates of the
 // background-activity model: a typical interrupt/scheduler profile
-// (branchy code over cold kernel data structures).
-var osNoiseRates = map[perf.Counter]float64{
+// (branchy code over cold kernel data structures). Indexed by
+// perf.Counter; a flat array so chargeOSNoise never walks a Go map.
+var osNoiseRates = [perf.NumCounters]float64{
 	perf.CPUCycles:          2.0,
 	perf.BranchInstructions: 0.20,
 	perf.BranchMisses:       0.02,
@@ -181,13 +201,19 @@ var osNoiseRates = map[perf.Counter]float64{
 }
 
 // chargeOSNoise adds one sample interval's worth of background kernel
-// activity to the PMU, carrying fractional counts across intervals.
+// activity to the PMU, carrying fractional counts across intervals. Each
+// counter accumulates independently, so the switch from map iteration to
+// an indexed loop changes no emitted value.
 func (m *Machine) chargeOSNoise(pmu *perf.Values) {
 	if m.cfg.OSNoiseFrac <= 0 || m.cfg.SampleInterval == 0 {
 		return
 	}
 	kernelInstr := m.cfg.OSNoiseFrac * float64(m.cfg.SampleInterval)
-	for c, rate := range osNoiseRates {
+	for c := perf.Counter(0); c < perf.NumCounters; c++ {
+		rate := osNoiseRates[c]
+		if rate == 0 {
+			continue
+		}
 		m.noiseAcc[c] += rate * kernelInstr
 		if whole := uint64(m.noiseAcc[c]); whole > 0 {
 			pmu.Add(c, whole)
@@ -217,11 +243,49 @@ func checkStride(sampleInterval uint64) uint64 {
 	return cancelStride
 }
 
-// RunContext is Run with cooperative cancellation: the loop polls ctx
-// every few thousand instructions (never more than one sample interval
-// apart) and returns ctx.Err() as soon as it fires. The partial
-// measurement is discarded — counters from an interrupted execution would
-// silently skew every downstream score.
+// blockCap bounds the batch size for RunContext; it equals cancelStride
+// so a full block never delays a cancellation poll. The emit-then-step
+// round trip streams the buffer sequentially, so the ~96 KiB worst case
+// prefetches cleanly — smaller blocks measured slower, not faster.
+const blockCap = cancelStride
+
+// blockSizeFor picks the batch size for RunContext: ideally the largest
+// divisor of the sample interval not exceeding blockCap, so in steady
+// state every block is full and a sample boundary coincides with a block
+// boundary. Intervals with no usable divisor (e.g. primes) fall back to
+// blockCap; the countdown clamp in RunContext keeps sampling exact
+// either way, this just keeps blocks large.
+func blockSizeFor(interval uint64) uint64 {
+	if interval == 0 {
+		return blockCap
+	}
+	if interval <= blockCap {
+		return interval
+	}
+	for d := uint64(blockCap); d >= blockCap/8; d-- {
+		if interval%d == 0 {
+			return d
+		}
+	}
+	return blockCap
+}
+
+// maxSamplePrealloc caps the per-counter sample capacity reserved up
+// front, so a pathological interval cannot ask for gigabytes.
+const maxSamplePrealloc = 1 << 20
+
+// RunContext is Run with cooperative cancellation: the loop polls ctx at
+// block boundaries (never more than ~cancelStride instructions apart) and
+// returns ctx.Err() as soon as it fires. The partial measurement is
+// discarded — counters from an interrupted execution would silently skew
+// every downstream score.
+//
+// Instructions are pulled in fixed blocks through BatchProgram when the
+// workload implements it (all stock workloads do), falling back to
+// per-instruction Next otherwise. Sampling uses countdown arithmetic: a
+// block never crosses a sample boundary, so the PMU snapshot happens at
+// exactly the same instruction numbers as the legacy per-instruction
+// loop, and every emitted counter stays bit-identical.
 func (m *Machine) RunContext(ctx context.Context, prog Program, maxInstr uint64) (*perf.Measurement, error) {
 	if maxInstr == 0 {
 		return nil, fmt.Errorf("uarch: Run with maxInstr == 0")
@@ -229,24 +293,70 @@ func (m *Machine) RunContext(ctx context.Context, prog Program, maxInstr uint64)
 	meas := &perf.Measurement{Workload: prog.Name()}
 	pmu := &meas.Totals
 	ts := &meas.Series
-	ts.Interval = m.cfg.SampleInterval
+	interval := m.cfg.SampleInterval
+	ts.Interval = interval
+	if interval > 0 {
+		expected := maxInstr / interval
+		if expected > maxSamplePrealloc {
+			expected = maxSamplePrealloc
+		}
+		for c := range ts.Samples {
+			ts.Samples[c] = make([]float64, 0, expected)
+		}
+	}
 
-	stride := checkStride(m.cfg.SampleInterval)
+	block := blockSizeFor(interval)
+	if uint64(cap(m.batch)) < block {
+		m.batch = make([]Instr, block)
+	}
+	buf := m.batch[:block]
+	bprog, batched := prog.(BatchProgram)
+
+	checkEvery := cancelStride / block // ≥ 1 because block ≤ cancelStride
+	var sinceCheck uint64
+	toSample := interval
 	var prev perf.Values
-	var instr Instr
 	var executed uint64
-	for executed < maxInstr && prog.Next(&instr) {
-		executed++
-		m.step(&instr, pmu)
-		if m.cfg.SampleInterval > 0 && executed%m.cfg.SampleInterval == 0 {
-			m.chargeOSNoise(pmu)
-			delta := pmu.Sub(prev)
-			prev = *pmu
-			for c := perf.Counter(0); c < perf.NumCounters; c++ {
-				ts.Samples[c] = append(ts.Samples[c], float64(delta.Get(c)))
+	for executed < maxInstr {
+		n := block
+		if rem := maxInstr - executed; rem < n {
+			n = rem
+		}
+		if interval > 0 && toSample < n {
+			n = toSample
+		}
+		var got int
+		if batched {
+			got = bprog.NextBatch(buf[:n])
+		} else {
+			for got = 0; got < int(n); got++ {
+				if !prog.Next(&buf[got]) {
+					break
+				}
 			}
 		}
-		if executed%stride == 0 {
+		// CPUCycles accumulates locally and lands in one Add per block;
+		// blocks never cross a sample boundary, so every sample still
+		// snapshots identical cumulative counters.
+		pmu.Add(perf.CPUCycles, m.stepBlock(buf[:got], pmu))
+		executed += uint64(got)
+		if interval > 0 {
+			toSample -= uint64(got) // got ≤ n ≤ toSample: no underflow
+			if toSample == 0 {
+				m.chargeOSNoise(pmu)
+				delta := pmu.Sub(prev)
+				prev = *pmu
+				for c := perf.Counter(0); c < perf.NumCounters; c++ {
+					ts.Samples[c] = append(ts.Samples[c], float64(delta.Get(c)))
+				}
+				toSample = interval
+			}
+		}
+		if uint64(got) < n {
+			break // program ended
+		}
+		if sinceCheck++; sinceCheck >= checkEvery {
+			sinceCheck = 0
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
@@ -255,100 +365,148 @@ func (m *Machine) RunContext(ctx context.Context, prog Program, maxInstr uint64)
 	return meas, nil
 }
 
-// step executes one instruction, charging cycles and PMU events.
-func (m *Machine) step(in *Instr, pmu *perf.Values) {
-	cycles := uint64(1) // base CPI of 1 for issue
+// step executes one instruction, charging PMU events, and returns its
+// cycle cost; the caller accounts CPUCycles (batched per block in
+// RunContext, per instruction in the multicore interleaver).
+func (m *Machine) step(in *Instr, pmu *perf.Values) uint64 {
+	return m.stepBlock(unsafe.Slice(in, 1), pmu)
+}
 
-	switch in.Kind {
-	case ALU:
-		// Base cycle only.
+// stepBlock executes a block of instructions, charging PMU events, and
+// returns the block's total cycle cost (the caller accounts CPUCycles).
+// The per-kind switch lives directly in the block loop and every config
+// latency is hoisted into a local, so the hot path pays no call or
+// config-field reload per instruction. Event counts accumulate in locals
+// and flush to the PMU once per block — RunContext never lets a block
+// cross a sample boundary, so every sample reads the same values it
+// would with per-instruction Adds.
+func (m *Machine) stepBlock(buf []Instr, pmu *perf.Values) uint64 {
+	var (
+		tlb, l1, l2, l3 = m.tlb, m.l1, m.l2, m.l3
+		l1Lat           = uint64(m.cfg.L1.LatencyC)
+		l2Lat           = uint64(m.cfg.L2.LatencyC)
+		l3Lat           = uint64(m.cfg.L3.LatencyC)
+		dram            = uint64(m.cfg.DRAMCycles)
+		walkC           = uint64(m.cfg.TLB.WalkCycles)
+		tlbL2Hit        = uint64(m.cfg.TLB.L2HitCycles)
+		minorFault      = uint64(m.cfg.MinorFaultCycles)
+		mispredict      = uint64(m.cfg.MispredictPenalty)
+		syscallC        = uint64(m.cfg.SyscallCycles)
+		prefetch        = m.cfg.NextLinePrefetch
+		lineB           = uint64(m.cfg.L2.LineB)
+		pageBits        = m.pageBits
+	)
+	cycles := uint64(len(buf)) // base CPI of 1 for issue
+	var (
+		dtlbLoads, dtlbStores, dtlbLoadMiss, dtlbStoreMiss uint64
+		walkPending, pageFaults                            uint64
+		llcLoads, llcStores, llcLoadMiss, llcStoreMiss     uint64
+		stallsMem, branches, branchMiss                    uint64
+	)
+	for i := range buf {
+		in := &buf[i]
+		switch in.Kind {
+		case ALU:
+			// Base cycle only.
 
-	case Load, Store:
-		isLoad := in.Kind == Load
-		// dTLB lookup.
-		if isLoad {
-			pmu.Add(perf.DTLBLoads, 1)
-		} else {
-			pmu.Add(perf.DTLBStores, 1)
-		}
-		tr := m.tlb.Translate(in.Addr)
-		if tr.L1Miss {
+		case Load, Store:
+			isLoad := in.Kind == Load
+			// dTLB lookup.
 			if isLoad {
-				pmu.Add(perf.DTLBLoadMisses, 1)
+				dtlbLoads++
 			} else {
-				pmu.Add(perf.DTLBStoreMisses, 1)
+				dtlbStores++
 			}
-			if tr.Walked {
-				walk := uint64(m.cfg.TLB.WalkCycles)
-				pmu.Add(perf.DTLBWalkPending, walk)
-				cycles += walk
-				// First touch of a page raises a minor fault.
-				page := in.Addr >> m.pageBits
-				if _, ok := m.touched[page]; !ok {
-					m.touched[page] = struct{}{}
-					pmu.Add(perf.PageFaults, 1)
-					cycles += uint64(m.cfg.MinorFaultCycles)
-				}
-			} else {
-				cycles += uint64(m.cfg.TLB.L2HitCycles)
-			}
-		}
-
-		// Cache hierarchy.
-		var memStall uint64
-		switch {
-		case m.l1.Access(in.Addr):
-			memStall = uint64(m.cfg.L1.LatencyC)
-		case m.l2.Access(in.Addr):
-			memStall = uint64(m.cfg.L2.LatencyC)
-		default:
-			// Reached the LLC.
-			if isLoad {
-				pmu.Add(perf.LLCLoads, 1)
-			} else {
-				pmu.Add(perf.LLCStores, 1)
-			}
-			if m.l3.Access(in.Addr) {
-				memStall = uint64(m.cfg.L3.LatencyC)
-			} else {
+			tr := tlb.Translate(in.Addr)
+			if tr.L1Miss {
 				if isLoad {
-					pmu.Add(perf.LLCLoadMisses, 1)
+					dtlbLoadMiss++
 				} else {
-					pmu.Add(perf.LLCStoreMisses, 1)
+					dtlbStoreMiss++
 				}
-				memStall = uint64(m.cfg.DRAMCycles)
+				if tr.Walked {
+					walkPending += walkC
+					cycles += walkC
+					// First touch of a page raises a minor fault.
+					page := in.Addr >> pageBits
+					if !m.touched.testAndSet(page) {
+						pageFaults++
+						cycles += minorFault
+					}
+				} else {
+					cycles += tlbL2Hit
+				}
 			}
-			if m.cfg.NextLinePrefetch {
-				// Install the next line into L2/L3 silently (prefetches
-				// are not demand events and overlap with the demand miss).
-				next := in.Addr + uint64(m.cfg.L2.LineB)
-				m.l2.Access(next)
-				m.l3.Access(next)
+
+			// Cache hierarchy.
+			var memStall uint64
+			switch {
+			case l1.Access(in.Addr):
+				memStall = l1Lat
+			case l2.Access(in.Addr):
+				memStall = l2Lat
+			default:
+				// Reached the LLC.
+				if isLoad {
+					llcLoads++
+				} else {
+					llcStores++
+				}
+				if l3.Access(in.Addr) {
+					memStall = l3Lat
+				} else {
+					if isLoad {
+						llcLoadMiss++
+					} else {
+						llcStoreMiss++
+					}
+					memStall = dram
+				}
+				if prefetch {
+					// Install the next line into L2/L3 silently (prefetches
+					// are not demand events and overlap with the demand miss).
+					next := in.Addr + lineB
+					l2.Access(next)
+					l3.Access(next)
+				}
 			}
-		}
-		// L1 hits overlap with the pipeline; anything slower stalls.
-		if memStall > uint64(m.cfg.L1.LatencyC) {
-			stall := memStall - uint64(m.cfg.L1.LatencyC)
-			pmu.Add(perf.StallsMemAny, stall)
-			cycles += stall
-		}
+			// L1 hits overlap with the pipeline; anything slower stalls.
+			if memStall > l1Lat {
+				stall := memStall - l1Lat
+				stallsMem += stall
+				cycles += stall
+			}
 
-	case Branch:
-		pmu.Add(perf.BranchInstructions, 1)
-		if !m.bp.Predict(in.PC, in.Taken) {
-			pmu.Add(perf.BranchMisses, 1)
-			cycles += uint64(m.cfg.MispredictPenalty)
-		}
+		case Branch:
+			branches++
+			if !m.bp.Predict(in.PC, in.Taken) {
+				branchMiss++
+				cycles += mispredict
+			}
 
-	case Syscall:
-		cycles += uint64(m.cfg.SyscallCycles)
-		if in.Fault {
-			pmu.Add(perf.PageFaults, 1)
-			cycles += uint64(m.cfg.MinorFaultCycles)
+		case Syscall:
+			cycles += syscallC
+			if in.Fault {
+				pageFaults++
+				cycles += minorFault
+			}
 		}
 	}
 
-	pmu.Add(perf.CPUCycles, cycles)
+	pmu.Add(perf.DTLBLoads, dtlbLoads)
+	pmu.Add(perf.DTLBStores, dtlbStores)
+	pmu.Add(perf.DTLBLoadMisses, dtlbLoadMiss)
+	pmu.Add(perf.DTLBStoreMisses, dtlbStoreMiss)
+	pmu.Add(perf.DTLBWalkPending, walkPending)
+	pmu.Add(perf.PageFaults, pageFaults)
+	pmu.Add(perf.LLCLoads, llcLoads)
+	pmu.Add(perf.LLCStores, llcStores)
+	pmu.Add(perf.LLCLoadMisses, llcLoadMiss)
+	pmu.Add(perf.LLCStoreMisses, llcStoreMiss)
+	pmu.Add(perf.StallsMemAny, stallsMem)
+	pmu.Add(perf.BranchInstructions, branches)
+	pmu.Add(perf.BranchMisses, branchMiss)
+	return cycles
 }
 
 // CacheStats exposes per-level accesses/misses for tests and diagnostics.

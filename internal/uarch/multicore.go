@@ -101,7 +101,7 @@ func (mc *MultiCore) RunParallelContext(ctx context.Context, progs []Program, ma
 			}
 			executed[i]++
 			total++
-			mc.cores[i].step(&instr, pmu)
+			pmu.Add(perf.CPUCycles, mc.cores[i].step(&instr, pmu))
 			if mc.cfg.SampleInterval > 0 && total%mc.cfg.SampleInterval == 0 {
 				mc.cores[i].chargeOSNoise(pmu)
 				delta := pmu.Sub(prev)

@@ -1,0 +1,60 @@
+package uarch
+
+// pageBitmap tracks which virtual pages have been faulted in. It replaces
+// the former map[uint64]struct{}: a page-walk now costs one chunk lookup
+// (usually memoized away) plus a bit test instead of a map probe, and the
+// dense [512]uint64 chunks are far smaller than map buckets for the
+// clustered page numbers real workloads touch. Sparse far-apart regions
+// (e.g. multicore thread offsets at 1 TiB spacing) each get their own
+// chunk, so memory stays proportional to pages actually touched.
+type pageBitmap struct {
+	chunks map[uint64]*pageChunk
+	// Memoized last chunk: page-walk locality makes consecutive faults
+	// overwhelmingly land in the same chunk.
+	lastIdx uint64
+	last    *pageChunk
+}
+
+// pageChunkBits is the log2 of pages per chunk: 2^15 pages = one
+// [512]uint64 = 4 KiB of bitmap covering 128 MiB of 4-KiB-page address
+// space.
+const pageChunkBits = 15
+
+type pageChunk [1 << pageChunkBits / 64]uint64
+
+func (b *pageBitmap) init() {
+	b.chunks = make(map[uint64]*pageChunk)
+	b.last = nil
+	b.lastIdx = 0
+}
+
+// testAndSet marks page as touched and reports whether it already was.
+func (b *pageBitmap) testAndSet(page uint64) bool {
+	idx := page >> pageChunkBits
+	ch := b.last
+	if ch == nil || b.lastIdx != idx {
+		ch = b.chunks[idx]
+		if ch == nil {
+			ch = new(pageChunk)
+			b.chunks[idx] = ch
+		}
+		b.last, b.lastIdx = ch, idx
+	}
+	word := page >> 6 & (1<<(pageChunkBits-6) - 1)
+	bit := uint64(1) << (page & 63)
+	if ch[word]&bit != 0 {
+		return true
+	}
+	ch[word] |= bit
+	return false
+}
+
+// reset forgets every touched page.
+func (b *pageBitmap) reset() {
+	// Drop the chunks rather than zeroing them: a fresh workload usually
+	// touches a different footprint, and chunk allocation is cheap next to
+	// the faults that cause it.
+	clear(b.chunks)
+	b.last = nil
+	b.lastIdx = 0
+}

@@ -1,0 +1,78 @@
+package uarch
+
+import (
+	"runtime"
+	"sync"
+)
+
+// machineKey is the structural part of a MachineConfig: the fields that
+// size allocations (cache/TLB geometry, predictor tables). Machines are
+// reusable across configs that share a key — latencies, sampling and
+// prefetch settings are plain values overwritten on Get.
+type machineKey struct {
+	L1, L2, L3                         CacheConfig
+	TLB                                TLBConfig
+	BranchTableBits, BranchHistoryBits uint
+}
+
+func keyOf(cfg MachineConfig) machineKey {
+	return machineKey{
+		L1: cfg.L1, L2: cfg.L2, L3: cfg.L3, TLB: cfg.TLB,
+		BranchTableBits: cfg.BranchTableBits, BranchHistoryBits: cfg.BranchHistoryBits,
+	}
+}
+
+// MachinePool recycles Machines between workload runs. A Table-II machine
+// owns ~3 MiB of L3 tag/LRU state plus TLB and predictor tables; suite
+// measurement and perspectord jobs build one per workload, so without
+// reuse a busy daemon reallocates (and re-faults) those arrays thousands
+// of times. Get returns a reset machine whose structural geometry matches
+// cfg, building one only when the pool is empty.
+//
+// Unlike sync.Pool, entries survive GC cycles and the pool is bounded:
+// at most GOMAXPROCS machines are retained per structural key, matching
+// the maximum simulator parallelism of the worker pool above it.
+type MachinePool struct {
+	mu   sync.Mutex
+	idle map[machineKey][]*Machine
+}
+
+// DefaultMachinePool is the process-wide pool used by suite measurement.
+var DefaultMachinePool MachinePool
+
+// Get returns a machine configured as cfg: a pooled one reset and
+// rewritten with cfg's non-structural fields when available, a freshly
+// built one otherwise.
+func (p *MachinePool) Get(cfg MachineConfig) (*Machine, error) {
+	key := keyOf(cfg)
+	p.mu.Lock()
+	if ms := p.idle[key]; len(ms) > 0 {
+		m := ms[len(ms)-1]
+		p.idle[key] = ms[:len(ms)-1]
+		p.mu.Unlock()
+		m.cfg = cfg
+		m.Reset()
+		return m, nil
+	}
+	p.mu.Unlock()
+	return NewMachine(cfg)
+}
+
+// Put returns a machine to the pool. Machines beyond the per-key bound
+// are dropped for the GC. Put(nil) is a no-op so callers can defer it
+// unconditionally.
+func (p *MachinePool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	key := keyOf(m.cfg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.idle == nil {
+		p.idle = make(map[machineKey][]*Machine)
+	}
+	if len(p.idle[key]) >= runtime.GOMAXPROCS(0) {
+		return
+	}
+	p.idle[key] = append(p.idle[key], m)
+}

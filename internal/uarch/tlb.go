@@ -39,11 +39,12 @@ func DefaultTLBConfig() TLBConfig {
 	}
 }
 
-// NewTLB builds a TLB; entry counts must be divisible into power-of-two
-// set counts, like caches.
+// NewTLB builds a TLB; the page size must be a power of two and entry
+// counts must divide into whole sets, like caches.
 func NewTLB(cfg TLBConfig) (*TLB, error) {
-	if cfg.PageB <= 0 || cfg.PageB&(cfg.PageB-1) != 0 {
-		return nil, fmt.Errorf("uarch: page size %d not a power of two", cfg.PageB)
+	pageBits, err := exactLog2(uint64(cfg.PageB))
+	if err != nil {
+		return nil, fmt.Errorf("uarch: page size: %w", err)
 	}
 	// Reuse Cache with "line size" = 1 so the page number itself indexes.
 	l1, err := NewCache(CacheConfig{Name: "dTLB-L1", SizeB: cfg.L1Entries, LineB: 1, Ways: cfg.L1Ways})
@@ -54,7 +55,7 @@ func NewTLB(cfg TLBConfig) (*TLB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("uarch: TLB L2: %w", err)
 	}
-	return &TLB{l1: l1, l2: l2, pageBits: log2(uint64(cfg.PageB))}, nil
+	return &TLB{l1: l1, l2: l2, pageBits: pageBits}, nil
 }
 
 // TLBResult describes one translation.

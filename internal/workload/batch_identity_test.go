@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"perspector/internal/uarch"
+)
+
+func multiPhaseSpec() Spec {
+	return Spec{
+		Name:         "multi",
+		Instructions: 30_000,
+		Seed:         7,
+		Phases: []Phase{
+			{
+				Name: "gather", Weight: 2,
+				LoadFrac: 0.4, StoreFrac: 0.05, BranchFrac: 0.2, SyscallFrac: 0.001,
+				LoadPattern:      Random{WorkingSet: 256 << 10},
+				BranchRegularity: 0.7, BranchTakenProb: 0.6,
+				SyscallFaultProb: 0.1,
+			},
+			{
+				Name: "stream", Weight: 1,
+				LoadFrac: 0.3, StoreFrac: 0.2, BranchFrac: 0.1,
+				LoadPattern:      Sequential{WorkingSet: 64 << 10},
+				StorePattern:     HotCold{HotSet: 4 << 10, ColdSet: 32 << 10, HotFrac: 0.8},
+				BranchRegularity: 0.9, BranchTakenProb: 0.5,
+			},
+			{
+				Name: "mix", Weight: 1,
+				LoadFrac: 0.25, StoreFrac: 0.1, BranchFrac: 0.25,
+				LoadPattern:      Streams{WorkingSet: 96 << 10, Count: 3},
+				BranchRegularity: 0.2, BranchTakenProb: 0.3,
+			},
+		},
+	}
+}
+
+// TestNextBatchMatchesNext drives two identically compiled programs — one
+// instruction at a time versus NextBatch with deliberately awkward chunk
+// sizes — across phase boundaries and program end, requiring the two
+// instruction streams to be structurally identical. This is the
+// workload-level half of the batching equivalence contract (the
+// machine-level half lives in internal/suites).
+func TestNextBatchMatchesNext(t *testing.T) {
+	chunks := []int{1, 3, 7, 64, 129, 1000, 4096}
+	for _, chunk := range chunks {
+		scalar, err := Compile(multiPhaseSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := Compile(multiPhaseSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]uarch.Instr, chunk)
+		var pos uint64
+		for {
+			n := batched.NextBatch(buf)
+			for i := 0; i < n; i++ {
+				var want uarch.Instr
+				if !scalar.Next(&want) {
+					t.Fatalf("chunk %d: scalar stream ended at %d while batch produced more", chunk, pos)
+				}
+				if buf[i] != want {
+					t.Fatalf("chunk %d: instruction %d diverges: batch %+v, scalar %+v",
+						chunk, pos, buf[i], want)
+				}
+				pos++
+			}
+			if n < chunk {
+				break
+			}
+		}
+		var extra uarch.Instr
+		if scalar.Next(&extra) {
+			t.Fatalf("chunk %d: scalar stream continues past batch end at %d", chunk, pos)
+		}
+		if pos != 30_000 {
+			t.Fatalf("chunk %d: stream ended after %d instructions, want 30000", chunk, pos)
+		}
+	}
+}
+
+// TestNextBatchAfterReset checks that Reset rewinds the batched path to an
+// identical replay, interleaving batch sizes before and after.
+func TestNextBatchAfterReset(t *testing.T) {
+	prog, err := Compile(multiPhaseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]uarch.Instr, 500)
+	if n := prog.NextBatch(first); n != len(first) {
+		t.Fatalf("short first batch: %d", n)
+	}
+	// Consume some more with a different chunking, then rewind.
+	rest := make([]uarch.Instr, 333)
+	prog.NextBatch(rest)
+	prog.Reset()
+	replay := make([]uarch.Instr, 500)
+	if n := prog.NextBatch(replay); n != len(replay) {
+		t.Fatalf("short replay batch: %d", n)
+	}
+	for i := range first {
+		if first[i] != replay[i] {
+			t.Fatalf("instruction %d not replayed after Reset: %+v vs %+v", i, first[i], replay[i])
+		}
+	}
+}

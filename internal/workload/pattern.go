@@ -9,6 +9,7 @@ package workload
 
 import (
 	"fmt"
+	"math/bits"
 
 	"perspector/internal/rng"
 )
@@ -16,6 +17,17 @@ import (
 // AddrGen produces a stream of virtual addresses.
 type AddrGen interface {
 	Next() uint64
+}
+
+// BatchAddrGen is an AddrGen that can fill a whole slice per call.
+// Address streams are infinite, so NextBatch always fills all of dst, and
+// it MUST produce exactly the values len(dst) successive Next calls
+// would. Every built-in pattern implements it; generators draw from
+// private RNG streams (split off at Instantiate), so producing addresses
+// ahead of consumption cannot perturb any other stream.
+type BatchAddrGen interface {
+	AddrGen
+	NextBatch(dst []uint64)
 }
 
 // PatternSpec describes a memory access pattern; Instantiate binds it to a
@@ -64,6 +76,18 @@ func (g *seqGen) Next() uint64 {
 		g.pos = 0
 	}
 	return addr
+}
+
+func (g *seqGen) NextBatch(dst []uint64) {
+	base, ws, stride, pos := g.base, g.ws, g.stride, g.pos
+	for i := range dst {
+		dst[i] = base + pos
+		pos += stride
+		if pos >= ws {
+			pos = 0
+		}
+	}
+	g.pos = pos
 }
 
 // --- Strided multi-stream ---
@@ -123,6 +147,22 @@ func (g *streamsGen) Next() uint64 {
 	return addr
 }
 
+func (g *streamsGen) NextBatch(dst []uint64) {
+	turn, n := g.turn, len(g.bases)
+	for i := range dst {
+		s := turn
+		if turn++; turn == n {
+			turn = 0
+		}
+		dst[i] = g.bases[s] + g.pos[s]
+		g.pos[s] += g.stride
+		if g.pos[s] >= g.per {
+			g.pos[s] = 0
+		}
+	}
+	g.turn = turn
+}
+
 // --- Uniform random ---
 
 // Random draws uniformly over the working set at cache-line granularity,
@@ -140,17 +180,34 @@ func (r Random) Instantiate(base uint64, src *rng.Source) (AddrGen, error) {
 	if r.WorkingSet < 64 {
 		return nil, fmt.Errorf("workload: Random working set %d below one line", r.WorkingSet)
 	}
-	return &randGen{base: base, lines: r.WorkingSet / 64, src: src}, nil
+	lines := r.WorkingSet / 64
+	return &randGen{base: base, lines: lines, thr: -lines % lines, src: src}, nil
 }
 
 type randGen struct {
 	base  uint64
 	lines uint64
+	thr   uint64 // 2^64 mod lines, Lemire rejection threshold
 	src   *rng.Source
 }
 
 func (g *randGen) Next() uint64 {
 	return g.base + uint64(g.src.Intn(int(g.lines)))*64
+}
+
+// NextBatch hand-inlines rng.Intn's Lemire sampling with the threshold
+// precomputed at construction, so the per-address draw compiles down to
+// an inlined xoshiro step and one widening multiply — no calls. The draw
+// stream is identical to Next's (see the note on rng.Intn).
+func (g *randGen) NextBatch(dst []uint64) {
+	base, lines, thr, src := g.base, g.lines, g.thr, g.src
+	for i := range dst {
+		hi, lo := bits.Mul64(src.Uint64(), lines)
+		for lo < thr {
+			hi, lo = bits.Mul64(src.Uint64(), lines)
+		}
+		dst[i] = base + hi*64
+	}
 }
 
 // --- Zipf / graph-like ---
@@ -194,6 +251,16 @@ func (g *zipfGen) Next() uint64 {
 	page := uint64(g.zipf.Next())
 	line := uint64(g.src.Intn(4096 / 64))
 	return g.base + page*4096 + line*64
+}
+
+func (g *zipfGen) NextBatch(dst []uint64) {
+	for i := range dst {
+		page := uint64(g.zipf.Next())
+		// Intn(64) never rejects (2^64 mod 64 = 0), so the draw is the
+		// top six bits of one xoshiro word — same stream, no call.
+		line := g.src.Uint64() >> 58
+		dst[i] = g.base + page*4096 + line*64
+	}
 }
 
 // --- Pointer chase ---
@@ -243,6 +310,15 @@ func (g *chaseGen) Next() uint64 {
 	return g.base + uint64(g.cur)*64
 }
 
+func (g *chaseGen) NextBatch(dst []uint64) {
+	base, next, cur := g.base, g.next, g.cur
+	for i := range dst {
+		cur = next[cur]
+		dst[i] = base + uint64(cur)*64
+	}
+	g.cur = cur
+}
+
 // --- Hot/cold mix ---
 
 // HotCold accesses a small hot region with probability HotFrac and a large
@@ -266,9 +342,10 @@ func (h HotCold) Instantiate(base uint64, src *rng.Source) (AddrGen, error) {
 	if h.HotFrac < 0 || h.HotFrac > 1 {
 		return nil, fmt.Errorf("workload: HotCold fraction %v out of [0,1]", h.HotFrac)
 	}
+	hot, cold := h.HotSet/64, h.ColdSet/64
 	return &hotColdGen{
-		base: base, hotLines: h.HotSet / 64,
-		coldBase: base + h.HotSet, coldLines: h.ColdSet / 64,
+		base: base, hotLines: hot, hotThr: -hot % hot,
+		coldBase: base + h.HotSet, coldLines: cold, coldThr: -cold % cold,
 		hotFrac: h.HotFrac, src: src,
 	}, nil
 }
@@ -276,8 +353,10 @@ func (h HotCold) Instantiate(base uint64, src *rng.Source) (AddrGen, error) {
 type hotColdGen struct {
 	base      uint64
 	hotLines  uint64
+	hotThr    uint64
 	coldBase  uint64
 	coldLines uint64
+	coldThr   uint64
 	hotFrac   float64
 	src       *rng.Source
 }
@@ -287,6 +366,26 @@ func (g *hotColdGen) Next() uint64 {
 		return g.base + uint64(g.src.Intn(int(g.hotLines)))*64
 	}
 	return g.coldBase + uint64(g.src.Intn(int(g.coldLines)))*64
+}
+
+// NextBatch hand-inlines the two fixed-bound Lemire draws (see randGen).
+func (g *hotColdGen) NextBatch(dst []uint64) {
+	src := g.src
+	for i := range dst {
+		if src.Bool(g.hotFrac) {
+			hi, lo := bits.Mul64(src.Uint64(), g.hotLines)
+			for lo < g.hotThr {
+				hi, lo = bits.Mul64(src.Uint64(), g.hotLines)
+			}
+			dst[i] = g.base + hi*64
+		} else {
+			hi, lo := bits.Mul64(src.Uint64(), g.coldLines)
+			for lo < g.coldThr {
+				hi, lo = bits.Mul64(src.Uint64(), g.coldLines)
+			}
+			dst[i] = g.coldBase + hi*64
+		}
+	}
 }
 
 // --- Alternating ---
@@ -350,4 +449,32 @@ func (g *altGen) Next() uint64 {
 		return g.b.Next()
 	}
 	return g.a.Next()
+}
+
+// NextBatch chunks the request at sub-pattern switch points, forwarding
+// each run of ≤ Period accesses to the active sub-generator in one call.
+func (g *altGen) NextBatch(dst []uint64) {
+	for len(dst) > 0 {
+		if g.count >= g.period {
+			g.count = 0
+			g.inB = !g.inB
+		}
+		n := g.period - g.count
+		if n > len(dst) {
+			n = len(dst)
+		}
+		cur := g.a
+		if g.inB {
+			cur = g.b
+		}
+		if bg, ok := cur.(BatchAddrGen); ok {
+			bg.NextBatch(dst[:n])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = cur.Next()
+			}
+		}
+		g.count += n
+		dst = dst[n:]
+	}
 }

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"perspector/internal/rng"
 	"perspector/internal/uarch"
@@ -112,14 +114,69 @@ type Program struct {
 
 type compiledPhase struct {
 	p         *Phase
-	loadGen   AddrGen
-	storeGen  AddrGen
+	loadGen   addrStream
+	storeGen  addrStream
 	src       *rng.Source
 	branchPCs []uint64
 	branchCnt []uint32
 	branchPer []uint32
-	// cumulative kind thresholds in [0,1): load, store, branch, syscall
-	tLoad, tStore, tBranch, tSyscall float64
+	// Cumulative kind thresholds (load, store, branch, syscall) and the
+	// branch/syscall probabilities, pre-scaled to the integer domain of
+	// Float64's 53 significant bits (see probThreshold). Comparing the raw
+	// RNG draw against these is bit-for-bit equivalent to comparing
+	// Float64() against the float probabilities, without the int→float
+	// conversion on the per-instruction path.
+	uLoad, uStore, uBranch, uSyscall uint64
+	uRegular, uTaken, uFault         uint64
+	// Lemire sampling constants for the branch-site draw: the site count
+	// and 2^64 mod it, so emit draws a site without calling rng.Intn
+	// (identical stream; see the note on rng.Intn).
+	siteBound, siteThr uint64
+}
+
+// probThreshold converts a probability to the 53-bit integer domain:
+// Float64() < p  ⟺  Uint64()>>11 < probThreshold(p). Exact, because
+// Float64 is float64(u>>11)/2^53 where both the int→float conversion
+// (≤53 bits) and the power-of-two division are lossless, so scaling the
+// comparison by 2^53 changes nothing; the ceiling accounts for the draw
+// being an integer (x < p·2^53 ⟺ x < ceil(p·2^53) for integer x, with
+// equality impossible at non-integral p·2^53).
+func probThreshold(p float64) uint64 {
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// addrStream buffers an AddrGen so the per-address interface dispatch is
+// amortized over a block refill. Safe for lookahead: every generator owns
+// a private RNG stream, so drawing addresses early produces exactly the
+// values later one-at-a-time calls would.
+// addrBatch is the refill size of an addrStream.
+const addrBatch = 64
+
+type addrStream struct {
+	gen AddrGen
+	buf [addrBatch]uint64
+	i   int
+}
+
+func newAddrStream(gen AddrGen) addrStream {
+	// Start with the buffer exhausted so the first next() refills.
+	return addrStream{gen: gen, i: addrBatch}
+}
+
+func (s *addrStream) next() uint64 {
+	if s.i == len(s.buf) {
+		if bg, ok := s.gen.(BatchAddrGen); ok {
+			bg.NextBatch(s.buf[:])
+		} else {
+			for j := range s.buf {
+				s.buf[j] = s.gen.Next()
+			}
+		}
+		s.i = 0
+	}
+	a := s.buf[s.i]
+	s.i++
+	return a
 }
 
 // Compile validates a spec and builds its deterministic Program. Each
@@ -154,11 +211,11 @@ func Compile(spec Spec) (*Program, error) {
 			if storeSpec == nil {
 				storeSpec = ph.LoadPattern
 			}
-			var err error
-			cp.loadGen, err = loadSpec.Instantiate(base, src.Split())
+			loadGen, err := loadSpec.Instantiate(base, src.Split())
 			if err != nil {
 				return nil, fmt.Errorf("workload: spec %q phase %d load pattern: %w", spec.Name, i, err)
 			}
+			cp.loadGen = newAddrStream(loadGen)
 			sharedRegion := loadSpec == storeSpec ||
 				(ph.LoadPattern != nil && ph.StorePattern == nil) ||
 				(ph.LoadPattern == nil && ph.StorePattern != nil)
@@ -166,10 +223,11 @@ func Compile(spec Spec) (*Program, error) {
 			if !sharedRegion {
 				storeBase = base + loadSpec.Footprint() + guard
 			}
-			cp.storeGen, err = storeSpec.Instantiate(storeBase, src.Split())
+			storeGen, err := storeSpec.Instantiate(storeBase, src.Split())
 			if err != nil {
 				return nil, fmt.Errorf("workload: spec %q phase %d store pattern: %w", spec.Name, i, err)
 			}
+			cp.storeGen = newAddrStream(storeGen)
 			base = storeBase + storeSpec.Footprint() + guard
 		}
 
@@ -185,11 +243,20 @@ func Compile(spec Spec) (*Program, error) {
 			// Loop periods between 4 and 35, deterministic per site.
 			cp.branchPer[s] = uint32(4 + (s*7)%32)
 		}
+		cp.siteBound = uint64(sites)
+		cp.siteThr = -cp.siteBound % cp.siteBound
 
-		cp.tLoad = ph.LoadFrac
-		cp.tStore = cp.tLoad + ph.StoreFrac
-		cp.tBranch = cp.tStore + ph.BranchFrac
-		cp.tSyscall = cp.tBranch + ph.SyscallFrac
+		tLoad := ph.LoadFrac
+		tStore := tLoad + ph.StoreFrac
+		tBranch := tStore + ph.BranchFrac
+		tSyscall := tBranch + ph.SyscallFrac
+		cp.uLoad = probThreshold(tLoad)
+		cp.uStore = probThreshold(tStore)
+		cp.uBranch = probThreshold(tBranch)
+		cp.uSyscall = probThreshold(tSyscall)
+		cp.uRegular = probThreshold(ph.BranchRegularity)
+		cp.uTaken = probThreshold(ph.BranchTakenProb)
+		cp.uFault = probThreshold(ph.SyscallFaultProb)
 
 		prog.phases = append(prog.phases, cp)
 
@@ -217,6 +284,43 @@ func (pr *Program) Reset() {
 	*pr = *fresh
 }
 
+// emit produces one instruction of this phase. It is the shared body of
+// Next and NextBatch, so both paths draw from the RNG streams in exactly
+// the same order and produce identical instruction sequences.
+func (cp *compiledPhase) emit(in *uarch.Instr) {
+	// Each case overwrites every field in one composite store: callers
+	// reuse the same Instr across calls. Kind selection and coin flips
+	// draw Uint64()>>11 — the significand Float64 would build — and
+	// compare in the integer domain (see probThreshold); each comparison
+	// consumes exactly one RNG draw, like the Float64/Bool calls it
+	// replaces, so the streams stay aligned.
+	r := cp.src.Uint64() >> 11
+	switch {
+	case r < cp.uLoad:
+		*in = uarch.Instr{Kind: uarch.Load, Addr: cp.loadGen.next()}
+	case r < cp.uStore:
+		*in = uarch.Instr{Kind: uarch.Store, Addr: cp.storeGen.next()}
+	case r < cp.uBranch:
+		site, lo := bits.Mul64(cp.src.Uint64(), cp.siteBound)
+		for lo < cp.siteThr {
+			site, lo = bits.Mul64(cp.src.Uint64(), cp.siteBound)
+		}
+		var taken bool
+		if cp.src.Uint64()>>11 < cp.uRegular {
+			// Loop-style pattern: taken except every period-th execution.
+			cp.branchCnt[site]++
+			taken = cp.branchCnt[site]%cp.branchPer[site] != 0
+		} else {
+			taken = cp.src.Uint64()>>11 < cp.uTaken
+		}
+		*in = uarch.Instr{Kind: uarch.Branch, PC: cp.branchPCs[site], Taken: taken}
+	case r < cp.uSyscall:
+		*in = uarch.Instr{Kind: uarch.Syscall, Fault: cp.src.Uint64()>>11 < cp.uFault}
+	default:
+		*in = uarch.Instr{Kind: uarch.ALU}
+	}
+}
+
 // Next implements uarch.Program.
 func (pr *Program) Next(in *uarch.Instr) bool {
 	if pr.pos >= pr.spec.Instructions {
@@ -227,35 +331,31 @@ func (pr *Program) Next(in *uarch.Instr) bool {
 	}
 	cp := &pr.phases[pr.cur]
 	pr.pos++
-
-	// Overwrite every field: callers reuse the same Instr across calls.
-	*in = uarch.Instr{}
-	r := cp.src.Float64()
-	switch {
-	case r < cp.tLoad:
-		in.Kind = uarch.Load
-		in.Addr = cp.loadGen.Next()
-	case r < cp.tStore:
-		in.Kind = uarch.Store
-		in.Addr = cp.storeGen.Next()
-	case r < cp.tBranch:
-		in.Kind = uarch.Branch
-		site := cp.src.Intn(len(cp.branchPCs))
-		in.PC = cp.branchPCs[site]
-		if cp.src.Bool(cp.p.BranchRegularity) {
-			// Loop-style pattern: taken except every period-th execution.
-			cp.branchCnt[site]++
-			in.Taken = cp.branchCnt[site]%cp.branchPer[site] != 0
-		} else {
-			in.Taken = cp.src.Bool(cp.p.BranchTakenProb)
-		}
-	case r < cp.tSyscall:
-		in.Kind = uarch.Syscall
-		in.Fault = cp.src.Bool(cp.p.SyscallFaultProb)
-	default:
-		in.Kind = uarch.ALU
-	}
+	cp.emit(in)
 	return true
+}
+
+// NextBatch implements uarch.BatchProgram: it emits up to len(dst)
+// instructions, resolving the active phase once per run instead of once
+// per instruction.
+func (pr *Program) NextBatch(dst []uarch.Instr) int {
+	n := 0
+	for n < len(dst) && pr.pos < pr.spec.Instructions {
+		for pr.pos >= pr.bounds[pr.cur] {
+			pr.cur++
+		}
+		cp := &pr.phases[pr.cur]
+		take := uint64(len(dst) - n)
+		if rem := pr.bounds[pr.cur] - pr.pos; rem < take {
+			take = rem
+		}
+		pr.pos += take
+		for ; take > 0; take-- {
+			cp.emit(&dst[n])
+			n++
+		}
+	}
+	return n
 }
 
 // PhaseCount returns the number of phases.
