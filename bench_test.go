@@ -12,6 +12,7 @@ package perspector_test
 // results produced by cmd/figures.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"perspector/internal/dtw"
 	"perspector/internal/lhs"
 	"perspector/internal/mat"
+	"perspector/internal/obs"
 	"perspector/internal/pca"
 	"perspector/internal/perf"
 	"perspector/internal/rng"
@@ -287,6 +289,28 @@ func BenchmarkSimulateSuite(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := perspector.Measure(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalInstr), "instructions/op")
+}
+
+// BenchmarkSimulateSuiteRecorder is BenchmarkSimulateSuite with a live
+// telemetry recorder attached — the pair quantifies the span overhead
+// the observability acceptance criterion bounds at 2%. A fresh recorder
+// per iteration keeps the arena from amortizing across iterations.
+func BenchmarkSimulateSuiteRecorder(b *testing.B) {
+	cfg := benchConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalInstr := cfg.Instructions * uint64(len(s.Specs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := obs.WithRecorder(context.Background(), obs.NewRecorder())
+		if _, err := perspector.MeasureContext(ctx, s, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,255 @@
+// Command obscheck validates the telemetry artifacts a perspector run
+// writes — the -trace-out Chrome trace and the -manifest run summary —
+// so CI can assert the observability path end to end instead of only
+// checking that the files exist. It decodes both documents, re-derives
+// the structural invariants the recorder guarantees (unique span ids,
+// parent/child interval containment, per-track nesting discipline,
+// named tracks, manifest schema and ratio bounds), and exits non-zero
+// with one line per violation.
+//
+// Usage:
+//
+//	obscheck [-trace trace.json] [-manifest manifest.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"perspector/internal/obs"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
+	manifestPath := flag.String("manifest", "", "run manifest JSON to validate")
+	flag.Parse()
+	if *tracePath == "" && *manifestPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: at least one of -trace or -manifest is required")
+		os.Exit(2)
+	}
+	var errs []string
+	if *tracePath != "" {
+		errs = append(errs, checkTrace(*tracePath)...)
+	}
+	if *manifestPath != "" {
+		errs = append(errs, checkManifest(*manifestPath)...)
+	}
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "obscheck:", e)
+		}
+		os.Exit(1)
+	}
+}
+
+// event mirrors the subset of the trace-event schema obscheck verifies.
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// span is one X event's interval, keyed by the recorder span id carried
+// in its args.
+type span struct {
+	id, parent int
+	start, end float64
+	tid        int
+	name       string
+}
+
+// eps absorbs the ns→μs float rounding WriteTrace performs; real
+// containment violations are orders of magnitude larger.
+const eps = 0.01
+
+func checkTrace(path string) (errs []string) {
+	fail := func(format string, args ...any) {
+		errs = append(errs, "trace: "+fmt.Sprintf(format, args...))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var file struct {
+		TraceEvents     []event `json:"traceEvents"`
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		return []string{"trace: invalid JSON: " + err.Error()}
+	}
+	if file.DisplayTimeUnit == "" {
+		fail("missing displayTimeUnit")
+	}
+
+	tracks := map[int]string{} // tid → thread_name
+	spans := map[int]span{}
+	perTid := map[int][]span{}
+	for i, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				name, _ := ev.Args["name"].(string)
+				if name == "" {
+					fail("event %d: thread_name metadata without a name", i)
+				}
+				tracks[ev.Tid] = name
+			}
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				fail("event %d (%s): missing or negative dur", i, ev.Name)
+				continue
+			}
+			id, ok := asInt(ev.Args["span"])
+			if !ok {
+				fail("event %d (%s): args.span missing", i, ev.Name)
+				continue
+			}
+			parent, ok := asInt(ev.Args["parent"])
+			if !ok {
+				fail("event %d (%s): args.parent missing", i, ev.Name)
+				continue
+			}
+			if _, dup := spans[id]; dup {
+				fail("span id %d appears twice", id)
+				continue
+			}
+			sp := span{id: id, parent: parent, start: ev.Ts, end: ev.Ts + *ev.Dur, tid: ev.Tid, name: ev.Name}
+			spans[id] = sp
+			perTid[ev.Tid] = append(perTid[ev.Tid], sp)
+		default:
+			fail("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if len(spans) == 0 {
+		fail("no X events — the run recorded no spans")
+	}
+
+	// Parent containment: every child interval sits inside its parent's.
+	for _, sp := range spans {
+		if sp.parent < 0 {
+			continue
+		}
+		p, ok := spans[sp.parent]
+		if !ok {
+			fail("span %d (%s): parent %d has no event", sp.id, sp.name, sp.parent)
+			continue
+		}
+		if sp.start < p.start-eps || sp.end > p.end+eps {
+			fail("span %d (%s) [%.3f, %.3f] escapes parent %d (%s) [%.3f, %.3f]",
+				sp.id, sp.name, sp.start, sp.end, p.id, p.name, p.start, p.end)
+		}
+	}
+
+	// Track discipline: every tid is named, and its events strictly nest.
+	tids := make([]int, 0, len(perTid))
+	for tid := range perTid {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		if tracks[tid] == "" {
+			fail("tid %d has events but no thread_name metadata", tid)
+		}
+		evs := perTid[tid]
+		sort.Slice(evs, func(a, b int) bool {
+			if evs[a].start != evs[b].start {
+				return evs[a].start < evs[b].start
+			}
+			return evs[a].end > evs[b].end
+		})
+		var stack []span
+		for _, sp := range evs {
+			for len(stack) > 0 && stack[len(stack)-1].end <= sp.start+eps {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && sp.end > stack[len(stack)-1].end+eps {
+				fail("track %q: span %d (%s) partially overlaps span %d (%s)",
+					tracks[tid], sp.id, sp.name, stack[len(stack)-1].id, stack[len(stack)-1].name)
+			}
+			stack = append(stack, sp)
+		}
+	}
+	if len(errs) == 0 {
+		fmt.Printf("trace ok: %d spans on %d tracks\n", len(spans), len(perTid))
+	}
+	return errs
+}
+
+func checkManifest(path string) (errs []string) {
+	fail := func(format string, args ...any) {
+		errs = append(errs, "manifest: "+fmt.Sprintf(format, args...))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return []string{"manifest: invalid JSON: " + err.Error()}
+	}
+	if m.Schema != obs.ManifestSchemaVersion {
+		fail("schema = %d, want %d", m.Schema, obs.ManifestSchemaVersion)
+	}
+	if m.WallSeconds <= 0 {
+		fail("wall_seconds = %g, want > 0", m.WallSeconds)
+	}
+	if m.Spans <= 0 {
+		fail("spans = %d, want > 0", m.Spans)
+	}
+	if len(m.Stages) == 0 {
+		fail("no stages recorded")
+	}
+	for _, st := range m.Stages {
+		if st.Name == "" {
+			fail("stage with empty name")
+		}
+		if st.Count < 1 {
+			fail("stage %q: count = %d, want >= 1", st.Name, st.Count)
+		}
+		if st.Seconds < 0 {
+			fail("stage %q: seconds = %g, want >= 0", st.Name, st.Seconds)
+		}
+	}
+	for _, w := range m.Workers {
+		if w.BusySeconds < 0 || w.BusyFraction < 0 || w.BusyFraction > 1+1e-9 {
+			fail("worker %d: busy %gs fraction %g out of range", w.Worker, w.BusySeconds, w.BusyFraction)
+		}
+	}
+	if m.Cache != nil {
+		if m.Cache.Hits < 0 || m.Cache.Misses < 0 || m.Cache.HitRatio < 0 || m.Cache.HitRatio > 1 {
+			fail("cache block out of range: %+v", *m.Cache)
+		}
+	}
+	if m.ResultKey != "" {
+		if len(m.ResultKey) != 64 {
+			fail("result_key %q is not a SHA-256 hex digest", m.ResultKey)
+		}
+		for _, c := range m.ResultKey {
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				fail("result_key %q is not lowercase hex", m.ResultKey)
+				break
+			}
+		}
+	}
+	if len(errs) == 0 {
+		fmt.Printf("manifest ok: %d stages, %d workers, %d spans in %.3fs\n",
+			len(m.Stages), len(m.Workers), m.Spans, m.WallSeconds)
+	}
+	return errs
+}
+
+// asInt accepts the float64 that encoding/json produces for numbers.
+func asInt(v any) (int, bool) {
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int(f), true
+}

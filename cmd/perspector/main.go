@@ -54,6 +54,7 @@ import (
 	"strings"
 
 	"perspector"
+	"perspector/internal/buildinfo"
 	"perspector/internal/cli"
 	"perspector/internal/perf"
 	"perspector/internal/source"
@@ -94,6 +95,8 @@ func main() {
 		err = runScoreFile(args)
 	case "redundancy":
 		err = runRedundancy(args)
+	case "version", "-version", "--version":
+		buildinfo.Print(stdout, "perspector")
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -122,6 +125,7 @@ commands:
   export    measure a suite and write a portable JSON trace
   score-file score measurements from a JSON trace or totals CSV
   redundancy report strongly correlated (droppable) PMU counters
+  version   print the build version and Go runtime
 
 run "perspector <command> -h" for command flags`)
 }
@@ -151,15 +155,22 @@ func (c *commonFlags) measureSuite(name string) (*perspector.Measurement, error)
 	return d.MeasureNamed(name)
 }
 
-// writeScoreSet emits the machine-readable ScoreSet document — the
-// same schema perspectord serves over HTTP, so CLI output pipes into
-// anything that consumes the service's results.
-func (c *commonFlags) writeScoreSet(kind string, scores []perspector.Scores) error {
-	set := store.New(kind, c.group, "simulator", &store.RunConfig{
+// scoreSet builds the machine-readable ScoreSet document — the same
+// schema perspectord serves over HTTP.
+func (c *commonFlags) scoreSet(kind string, scores []perspector.Scores) store.ScoreSet {
+	return store.New(kind, c.group, "simulator", &store.RunConfig{
 		Instructions: c.Instr,
 		Samples:      c.Samples,
 		Seed:         c.Seed,
 	}, scores)
+}
+
+// writeScoreSet emits the ScoreSet document, so CLI output pipes into
+// anything that consumes the service's results. The document's content
+// key also lands in the -manifest result_key via the driver.
+func (c *commonFlags) writeScoreSet(d *cli.Driver, kind string, scores []perspector.Scores) error {
+	set := c.scoreSet(kind, scores)
+	d.SetResult(set)
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(set)
@@ -236,8 +247,9 @@ func runScore(args []string) error {
 			return err
 		}
 		if *jsonOut {
-			return common.writeScoreSet(store.KindScore, []perspector.Scores{scores})
+			return common.writeScoreSet(d, store.KindScore, []perspector.Scores{scores})
 		}
+		d.SetResult(common.scoreSet(store.KindScore, []perspector.Scores{scores}))
 		cli.ScoreHeader(stdout)
 		cli.ScoreRow(stdout, scores)
 		return nil
@@ -300,8 +312,9 @@ func runCompare(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return common.writeScoreSet(store.KindCompare, scores)
+		return common.writeScoreSet(d, store.KindCompare, scores)
 	}
+	d.SetResult(common.scoreSet(store.KindCompare, scores))
 	cli.ScoreHeader(stdout)
 	for _, s := range scores {
 		cli.ScoreRow(stdout, s)

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"perspector/internal/buildinfo"
 	"perspector/internal/cache"
 	"perspector/internal/jobs"
 	"perspector/internal/par"
@@ -59,11 +60,13 @@ type options struct {
 	drainTimeout time.Duration
 	enablePprof  bool
 	logJSON      bool
+	version      bool
 }
 
 func parseFlags(args []string) (*options, error) {
 	fs := flag.NewFlagSet("perspectord", flag.ContinueOnError)
 	o := &options{}
+	fs.BoolVar(&o.version, "version", false, "print the build version and exit")
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&o.storeDir, "store-dir", "perspectord-data", "result store directory (empty = no durable results)")
 	fs.StringVar(&o.cacheDir, "cache-dir", "", "measurement cache directory (empty = no cache)")
@@ -86,6 +89,10 @@ func run(args []string) error {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	if o.version {
+		buildinfo.Print(os.Stdout, "perspectord")
+		return nil
 	}
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if o.logJSON {

@@ -17,6 +17,7 @@ import (
 
 	"perspector"
 	"perspector/internal/metric"
+	"perspector/internal/obs"
 )
 
 var goldenScores = []perspector.Scores{
@@ -60,6 +61,36 @@ func TestGoldenEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		requireIdenticalScores(t, "engine", goldenScores, engine)
+	}
+}
+
+// TestGoldenEquivalenceWithRecorder is the observability determinism
+// guardrail: attaching a telemetry recorder must not perturb a single
+// bit of the scores. It runs the measured + scored pipeline under a
+// live recorder (spans in every stage, worker spans in every fan-out)
+// and requires the same goldens as the bare run — telemetry is
+// read-only with respect to the numerics.
+func TestGoldenEquivalenceWithRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures all six suites")
+	}
+	cfg := determinismConfig()
+	rec := obs.NewRecorder()
+	ctx := obs.WithRecorder(context.Background(), rec)
+	ms, err := perspector.MeasureAllContext(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := perspector.DefaultOptions()
+	old := perspector.SetWorkers(3)
+	defer perspector.SetWorkers(old)
+	scores, err := perspector.CompareContext(ctx, ms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalScores(t, "recorder attached", goldenScores, scores)
+	if rec.Len() == 0 {
+		t.Fatal("recorder collected no spans — the pipeline is not instrumented")
 	}
 }
 

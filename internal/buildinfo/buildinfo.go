@@ -1,0 +1,72 @@
+// Package buildinfo surfaces the binary's build identity — module
+// version, VCS revision, and Go runtime — from debug.ReadBuildInfo. Both
+// CLIs print it under -version and perspectord embeds it in /healthz, so
+// every artifact a run produces can be traced back to the build that made
+// it without an external stamping step.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, when the build
+	// recorded one; Modified marks a dirty working tree.
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+	// GoVersion, OS and Arch describe the toolchain and target.
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// Read collects the build identity. It never fails: binaries built
+// without module support just report unknowns.
+func Read() Info {
+	info := Info{
+		Version:   "unknown",
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// Print renders the -version output for the named command.
+func Print(w io.Writer, cmd string) {
+	i := Read()
+	fmt.Fprintf(w, "%s %s", cmd, i.Version)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(w, " (%s", rev)
+		if i.Modified {
+			fmt.Fprint(w, "-dirty")
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintf(w, " %s %s/%s\n", i.GoVersion, i.OS, i.Arch)
+}

@@ -14,15 +14,20 @@ package cli
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"perspector/internal/cache"
 	"perspector/internal/metric"
+	"perspector/internal/obs"
 	"perspector/internal/par"
 	"perspector/internal/perf"
 	"perspector/internal/source"
@@ -31,14 +36,16 @@ import (
 
 // Flags holds the simulation and execution flags shared by both CLIs.
 type Flags struct {
-	Instr    uint64
-	Samples  int
-	Seed     uint64
-	Workers  int
-	CacheDir string
-	NoCache  bool
-	Timeout  time.Duration
-	Verbose  bool
+	Instr       uint64
+	Samples     int
+	Seed        uint64
+	Workers     int
+	CacheDir    string
+	NoCache     bool
+	Timeout     time.Duration
+	Verbose     bool
+	TraceOut    string
+	ManifestOut string
 }
 
 // AddFlags registers the shared flags on fs and returns the destination
@@ -54,6 +61,8 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.NoCache, "no-cache", false, "disable the measurement cache even if -cache-dir is set")
 	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit)")
 	fs.BoolVar(&f.Verbose, "v", false, "verbose: worker count and cache statistics on stderr")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace-event JSON of the run (view at ui.perfetto.dev)")
+	fs.StringVar(&f.ManifestOut, "manifest", "", "write a JSON run manifest (per-stage durations, cache hits, worker busy fractions)")
 	return f
 }
 
@@ -73,10 +82,16 @@ type Driver struct {
 	Flags *Flags
 	// Store is the measurement cache; nil when disabled (pass-through).
 	Store *cache.Store
+	// Recorder collects the run's telemetry spans; nil unless -trace-out
+	// or -manifest asked for it, so un-instrumented runs pay exactly the
+	// nil-recorder pointer check.
+	Recorder *obs.Recorder
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	stop   context.CancelFunc
+	ctx       context.Context
+	cancel    context.CancelFunc
+	stop      context.CancelFunc
+	runSpan   obs.Span
+	resultKey string
 }
 
 // NewDriver applies the worker bound, opens the cache (unless disabled),
@@ -98,22 +113,86 @@ func (f *Flags) NewDriver() (*Driver, error) {
 		ctx, cancel = context.WithTimeout(ctx, f.Timeout)
 	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
-	return &Driver{Flags: f, Store: store, ctx: ctx, cancel: cancel, stop: stop}, nil
+	d := &Driver{Flags: f, Store: store, cancel: cancel, stop: stop}
+	if f.TraceOut != "" || f.ManifestOut != "" {
+		d.Recorder = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, d.Recorder)
+		ctx, d.runSpan = obs.Start(ctx, "run")
+	}
+	d.ctx = ctx
+	return d, nil
 }
 
 // Context returns the run context. Pass it to every measurement and
 // scoring call so -timeout and Ctrl-C reach the simulator loops.
 func (d *Driver) Context() context.Context { return d.ctx }
 
-// Close releases the signal registration and the timeout timer and, under
-// -v, prints worker/cache statistics to stderr.
+// SetResult records the run's result document for the manifest: its
+// content key is the SHA-256 of the serialized JSON, the same address a
+// client would compute over the emitted ScoreSet. No-op without -manifest.
+func (d *Driver) SetResult(v any) {
+	if d.Recorder == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(data)
+	d.resultKey = hex.EncodeToString(sum[:])
+}
+
+// Close releases the signal registration and the timeout timer, writes
+// the telemetry artifacts (-trace-out, -manifest) and, under -v, prints
+// worker/cache statistics to stderr.
 func (d *Driver) Close() {
 	d.stop()
 	d.cancel()
+	d.runSpan.End()
+	if err := d.writeTelemetry(); err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry:", err)
+	}
 	if d.Flags.Verbose {
 		fmt.Fprintf(os.Stderr, "workers: %d\n", par.Workers())
 		fmt.Fprintln(os.Stderr, d.Store.Stats())
 	}
+}
+
+// writeTelemetry renders the recorder into the requested artifact files.
+func (d *Driver) writeTelemetry() error {
+	if d.Recorder == nil {
+		return nil
+	}
+	if path := d.Flags.TraceOut; path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		werr := d.Recorder.WriteTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	if path := d.Flags.ManifestOut; path != "" {
+		m := d.Recorder.Manifest()
+		m.Generator = filepath.Base(os.Args[0])
+		m.ResultKey = d.resultKey
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteManifest(f, m)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
 }
 
 // Source returns the measuring source for cfg: the simulator wrapped in
@@ -144,8 +223,8 @@ func (d *Driver) MeasureSuites(ss []suites.Suite) ([]*perf.SuiteMeasurement, err
 	cfg := d.Flags.Config()
 	src := d.Source(cfg)
 	ms := make([]*perf.SuiteMeasurement, len(ss))
-	err := par.DoErr(d.ctx, len(ss), func(_, i int) error {
-		m, err := src.Measure(d.ctx, ss[i])
+	err := par.DoErrCtx(d.ctx, len(ss), func(ctx context.Context, _, i int) error {
+		m, err := src.Measure(ctx, ss[i])
 		if err != nil {
 			return err
 		}
@@ -178,14 +257,14 @@ func (d *Driver) MeasureNames(names []string) ([]*perf.SuiteMeasurement, error) 
 // is an independent simulation with its own cache entry.
 func (d *Driver) MeasureSeeds(name string, n int) ([]*perf.SuiteMeasurement, error) {
 	runs := make([]*perf.SuiteMeasurement, n)
-	err := par.DoErr(d.ctx, n, func(_, r int) error {
+	err := par.DoErrCtx(d.ctx, n, func(ctx context.Context, _, r int) error {
 		cfg := d.Flags.Config()
 		cfg.Seed += uint64(r)
 		s, err := suites.ByName(name, cfg)
 		if err != nil {
 			return err
 		}
-		m, err := d.Source(cfg).Measure(d.ctx, s)
+		m, err := d.Source(cfg).Measure(ctx, s)
 		if err != nil {
 			return err
 		}

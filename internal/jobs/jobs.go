@@ -35,10 +35,12 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"perspector/internal/obs"
 	"perspector/internal/stage"
 	"perspector/internal/store"
 	"perspector/internal/suites"
@@ -236,6 +238,11 @@ type Queue struct {
 
 	wg      sync.WaitGroup
 	retired atomic.Uint64
+	// telem accumulates each executed job's span fold: per-stage duration
+	// histograms, queue wait, and per-worker busy time. Folding happens
+	// once, at the job's terminal transition, and replayed jobs fold
+	// nothing — the same replay-proof discipline as the instr/sec EWMA.
+	telem *obs.Aggregator
 	// instrPerSec is an exponentially weighted moving average of per-job
 	// simulated-instruction throughput, folded at each terminal transition
 	// of a job that simulated anything (guarded by mu). It answers "how
@@ -262,6 +269,7 @@ func New(run Runner, opt Options) *Queue {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		counts:   make(map[State]int),
+		telem:    obs.NewAggregator(),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.wg.Add(opt.Workers)
@@ -345,32 +353,76 @@ func (q *Queue) worker() {
 		q.mu.Unlock()
 		q.opt.Log.Info("job started", "job", j.id, "key", j.key)
 
-		set, err := q.run(ctx, &Handle{q: q, job: j})
+		// Each executed job gets its own recorder; its fold lands in the
+		// queue aggregator at the terminal transition below. The replay
+		// branch above never reaches here, so replays leave telemetry
+		// untouched.
+		rec := obs.NewRecorder()
+		rctx := obs.WithRecorder(ctx, rec)
+		rctx, jobSpan := obs.Start(rctx, "job",
+			obs.String("kind", j.req.Kind), obs.String("group", j.req.Group))
+
+		h := &Handle{q: q, job: j}
+		set, err := q.run(rctx, h)
 		cancel()
 
-		q.mu.Lock()
-		if err != nil {
-			if stage.Canceled(err) {
-				q.finishLocked(j, StateCanceled, err)
-			} else {
-				q.finishLocked(j, StateFailed, err)
+		if err == nil {
+			h.SetStage("store", 1)
+			_, stSpan := obs.Start(rctx, "store")
+			if perr := q.opt.Store.Put(j.key, set); perr != nil {
+				// The result is still good; losing durability is logged, not
+				// fatal — the client gets its scores either way.
+				q.opt.Log.Error("result store append failed", "job", j.id, "error", perr)
 			}
-			q.mu.Unlock()
-			continue
+			stSpan.End()
+			h.Advance(1)
 		}
-		j.stage = "store"
-		j.stageDone, j.stageTotal = 0, 1
-		if perr := q.opt.Store.Put(j.key, set); perr != nil {
-			// The result is still good; losing durability is logged, not
-			// fatal — the client gets its scores either way.
-			q.opt.Log.Error("result store append failed", "job", j.id, "error", perr)
+		// Fold before the terminal transition: anyone woken by the done
+		// channel (long-pollers, tests) observes the telemetry already
+		// merged.
+		jobSpan.End()
+		q.foldTelemetry(j, rec)
+
+		q.mu.Lock()
+		switch {
+		case err != nil && stage.Canceled(err):
+			q.finishLocked(j, StateCanceled, err)
+		case err != nil:
+			q.finishLocked(j, StateFailed, err)
+		default:
+			j.result = &set
+			q.finishLocked(j, StateDone, nil)
 		}
-		j.stageDone = 1
-		j.result = &set
-		q.finishLocked(j, StateDone, nil)
 		q.mu.Unlock()
 	}
 }
+
+// foldTelemetry merges an executed job's recorder into the queue
+// aggregator and emits the stage-completion log lines. Called without the
+// queue mutex, after the job's terminal transition; j's timestamps are
+// immutable by then.
+func (q *Queue) foldTelemetry(j *Job, rec *obs.Recorder) {
+	f := rec.Fold()
+	q.telem.Add(f)
+	if wait := j.startedAt.Sub(j.createdAt); wait >= 0 {
+		q.telem.ObserveQueueWait(wait)
+	}
+	names := make([]string, 0, len(f.Stages))
+	for name := range f.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		agg := f.Stages[name]
+		q.opt.Log.Info("job stage completed",
+			"job", j.id, "stage", name, "count", agg.Count, "seconds", agg.Sum)
+	}
+}
+
+// Telemetry returns the queue's span-fold aggregator — the source behind
+// the /metrics stage histograms, queue-wait histogram and
+// worker-utilization gauges.
+func (q *Queue) Telemetry() *obs.Aggregator { return q.telem }
 
 // setStateLocked moves j between non-terminal states.
 func (q *Queue) setStateLocked(j *Job, s State) {

@@ -67,7 +67,7 @@ func runSimulated(ctx context.Context, h *Handle, req Request, opts metric.Optio
 	}
 	h.SetStage("measure", len(req.Suites))
 	ms := make([]*perf.SuiteMeasurement, len(req.Suites))
-	err := par.DoErr(ctx, len(req.Suites), func(_, i int) error {
+	err := par.DoErrCtx(ctx, len(req.Suites), func(ctx context.Context, _, i int) error {
 		s, err := suites.ByName(req.Suites[i], cfg)
 		if err != nil {
 			return stage.Wrap(stage.Measure, req.Suites[i], "", err)

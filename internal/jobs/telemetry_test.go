@@ -1,0 +1,149 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"perspector/internal/obs"
+	"perspector/internal/store"
+)
+
+// spanRunner records a fixed set of spans on the job's recorder, standing
+// in for the instrumented engine.
+func spanRunner() Runner {
+	return func(ctx context.Context, h *Handle) (store.ScoreSet, error) {
+		ctx, wsp := obs.StartWorker(ctx, 0)
+		_, sp := obs.Start(ctx, "measure", obs.String("suite", "nbench"))
+		time.Sleep(time.Millisecond)
+		sp.End()
+		wsp.End()
+		obs.FromContext(ctx).Count(obs.CounterCacheMisses, 1)
+		return fakeResult(), nil
+	}
+}
+
+func stageCount(s obs.Snapshot, name string) int64 {
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return st.Agg.Count
+		}
+	}
+	return 0
+}
+
+// TestTelemetryFoldsAtCompletion pins the fold-at-completion rule: a job
+// that executes folds its spans (incl. the queue's own "job" root span and
+// queue wait) into the aggregator exactly once, and a replayed job — same
+// request served from the store — folds nothing, so service restarts that
+// re-serve stored results leave the series unchanged.
+func TestTelemetryFoldsAtCompletion(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	q := New(spanRunner(), Options{Workers: 1, Store: st})
+
+	before := q.Telemetry().Snapshot()
+	if len(before.Stages) != 0 || before.QueueWait.Count != 0 {
+		t.Fatalf("aggregator not empty before any job: %+v", before)
+	}
+
+	s1, _, err := q.Submit(scoreReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, s1.ID, StateDone)
+	after := q.Telemetry().Snapshot()
+	for _, stage := range []string{"job", "measure", "store"} {
+		if got := stageCount(after, stage); got != 1 {
+			t.Fatalf("stage %q count = %d after one job, want 1", stage, got)
+		}
+	}
+	if after.QueueWait.Count != 1 {
+		t.Fatalf("queue wait count = %d, want 1", after.QueueWait.Count)
+	}
+	if len(after.Workers) != 1 || after.Workers[0].Worker != 0 {
+		t.Fatalf("worker busy entries: %+v", after.Workers)
+	}
+	if after.WallSeconds <= 0 {
+		t.Fatal("wall seconds not accumulated")
+	}
+
+	// Identical request: replayed from the store, telemetry untouched.
+	s2, _, err := q.Submit(scoreReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, q, s2.ID, StateDone)
+	if !snap.Replayed {
+		t.Fatalf("second identical submission not replayed: %+v", snap)
+	}
+	replayed := q.Telemetry().Snapshot()
+	if got := stageCount(replayed, "job"); got != 1 {
+		t.Fatalf("replay folded telemetry: job count %d, want 1", got)
+	}
+	if replayed.QueueWait.Count != 1 {
+		t.Fatalf("replay observed queue wait: count %d, want 1", replayed.QueueWait.Count)
+	}
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryFoldsFailedJobs pins that failed jobs still fold: their
+// spans are exactly the ones that explain where the failure spent time.
+func TestTelemetryFoldsFailedJobs(t *testing.T) {
+	q := New(func(ctx context.Context, h *Handle) (store.ScoreSet, error) {
+		_, sp := obs.Start(ctx, "measure")
+		sp.End()
+		return store.ScoreSet{}, errors.New("boom")
+	}, Options{Workers: 1})
+	s1, _, err := q.Submit(scoreReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, s1.ID, StateFailed)
+	snap := q.Telemetry().Snapshot()
+	if got := stageCount(snap, "measure"); got != 1 {
+		t.Fatalf("failed job did not fold: measure count %d, want 1", got)
+	}
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryFoldLeaksNoGoroutines drives jobs through the recorder
+// fold path and checks the goroutine count settles back — the fold itself
+// is synchronous and must not strand anything.
+func TestTelemetryFoldLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	q := New(spanRunner(), Options{Workers: 2})
+	for i := 0; i < 6; i++ {
+		if _, _, err := q.Submit(scoreReq(uint64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range q.List() {
+		waitState(t, q, s.ID, StateDone)
+	}
+	if q.Telemetry().Snapshot().QueueWait.Count != 6 {
+		t.Fatal("not every job folded")
+	}
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -3,8 +3,10 @@ package metric
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 
 	"perspector/internal/mat"
+	"perspector/internal/obs"
 	"perspector/internal/par"
 	"perspector/internal/perf"
 	"perspector/internal/stage"
@@ -37,16 +39,20 @@ func ScoreSuites(ctx context.Context, sms []*perf.SuiteMeasurement, opts Options
 	if len(sms) == 1 {
 		runStage = stage.Score
 	}
+	_, artSpan := obs.Start(ctx, "artifacts")
 	arts := make([]*Artifacts, len(sms))
 	for i, sm := range sms {
 		arts[i] = NewArtifacts(sm, opts)
 	}
+	artSpan.End()
 	if reg.needs(func(c Capabilities) bool { return c.NeedsJointNorm }) {
+		_, jnSpan := obs.Start(ctx, "joint_norm")
 		raw := make([]*mat.Matrix, len(sms))
 		for i, a := range arts {
 			raw[i] = a.Raw()
 		}
 		normed, err := JointNormalize(raw)
+		jnSpan.End()
 		if err != nil {
 			return nil, stage.Wrap(runStage, "", "", err)
 		}
@@ -59,23 +65,32 @@ func ScoreSuites(ctx context.Context, sms []*perf.SuiteMeasurement, opts Options
 	// deterministic, so out[i] is the same at any worker count. The first
 	// error in suite order is returned, matching the serial loop.
 	out := make([]Scores, len(sms))
-	err := par.DoErr(ctx, len(sms), func(_, i int) error {
+	err := par.DoErrCtx(ctx, len(sms), func(ctx context.Context, _, i int) error {
 		a := arts[i]
 		out[i].Suite = a.Meas.Suite
 		hasSeries := a.HasSeries()
-		for _, m := range reg.Metrics() {
-			if m.Requires().NeedsSeries && !hasSeries {
-				continue // capability unmet: slot stays zero
+		sctx, span := obs.Start(ctx, "score", obs.String("suite", a.Meas.Suite))
+		defer span.End()
+		var suiteErr error
+		pprof.Do(sctx, pprof.Labels("suite", a.Meas.Suite, "stage", "score"), func(ctx context.Context) {
+			for _, m := range reg.Metrics() {
+				if m.Requires().NeedsSeries && !hasSeries {
+					continue // capability unmet: slot stays zero
+				}
+				mctx, msp := obs.Start(ctx, "metric."+m.Name(), obs.String("suite", a.Meas.Suite))
+				v, err := m.Compute(mctx, a)
+				msp.End()
+				if err != nil {
+					suiteErr = stage.Wrap(stage.Score, a.Meas.Suite, "", err)
+					return
+				}
+				if err := out[i].set(m.Name(), v); err != nil {
+					suiteErr = stage.Wrap(stage.Score, a.Meas.Suite, "", err)
+					return
+				}
 			}
-			v, err := m.Compute(ctx, a)
-			if err != nil {
-				return stage.Wrap(stage.Score, a.Meas.Suite, "", err)
-			}
-			if err := out[i].set(m.Name(), v); err != nil {
-				return stage.Wrap(stage.Score, a.Meas.Suite, "", err)
-			}
-		}
-		return nil
+		})
+		return suiteErr
 	})
 	if err != nil {
 		// Covers the path where ctx fired before any metric failed: DoErr

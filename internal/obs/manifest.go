@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DurationBuckets are the fixed histogram bucket upper bounds (seconds)
+// for stage latencies and queue wait. Fixed buckets keep the /metrics
+// exposition allocation-free and its golden test stable; the range spans
+// sub-millisecond metric computations to minute-long simulations.
+var DurationBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// StageAgg accumulates observations of one stage: count, total seconds,
+// and per-bucket counts (non-cumulative; the exposition layer sums them
+// into Prometheus' cumulative le-form).
+type StageAgg struct {
+	Count   int64
+	Sum     float64
+	Buckets [len(DurationBuckets) + 1]int64
+}
+
+// Observe folds one duration (in seconds) into the aggregate.
+func (a *StageAgg) Observe(sec float64) {
+	a.Count++
+	a.Sum += sec
+	for i, ub := range DurationBuckets {
+		if sec <= ub {
+			a.Buckets[i]++
+			return
+		}
+	}
+	a.Buckets[len(DurationBuckets)]++
+}
+
+// merge adds b into a.
+func (a *StageAgg) merge(b *StageAgg) {
+	a.Count += b.Count
+	a.Sum += b.Sum
+	for i := range a.Buckets {
+		a.Buckets[i] += b.Buckets[i]
+	}
+}
+
+// Fold is the aggregate view of one recorder's spans: per-stage duration
+// sums and histograms (keyed by span name), per-worker busy seconds from
+// the pool-worker spans, the counters, and the recorder wall time. It is
+// what a perspectord job folds into the service-level Aggregator at
+// completion, and what the manifest summarizes.
+type Fold struct {
+	Stages     map[string]*StageAgg
+	WorkerBusy map[int]float64
+	Wall       float64
+	Counters   map[string]int64
+	Spans      int
+	Dropped    int64
+}
+
+// Fold aggregates the collected spans. Only outermost worker spans
+// count toward WorkerBusy: when pools nest (a suite fan-out whose
+// workers fan out again over workloads), the inner pool's worker spans
+// lie inside the outer worker's interval, and counting both would
+// double-bill the time and push busy fractions past 1. Nil-safe: a nil
+// recorder folds to an empty Fold.
+func (r *Recorder) Fold() Fold {
+	f := Fold{Stages: map[string]*StageAgg{}, WorkerBusy: map[int]float64{}}
+	if r == nil {
+		return f
+	}
+	spans := r.snapshot()
+	byID := make(map[int32]int, len(spans))
+	for i := range spans {
+		byID[spans[i].id] = i
+	}
+	nested := func(sp *spanRecord) bool {
+		for p, ok := byID[sp.parent]; ok; p, ok = byID[spans[p].parent] {
+			if spans[p].name == WorkerSpan {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range spans {
+		sp := &spans[i]
+		sec := float64(sp.end-sp.start) / 1e9
+		if sp.name == WorkerSpan {
+			if !nested(sp) {
+				f.WorkerBusy[int(sp.worker)] += sec
+			}
+			continue
+		}
+		agg := f.Stages[sp.name]
+		if agg == nil {
+			agg = &StageAgg{}
+			f.Stages[sp.name] = agg
+		}
+		agg.Observe(sec)
+	}
+	f.Wall = float64(r.since()) / 1e9
+	f.Counters = r.Counters()
+	f.Spans = len(spans)
+	f.Dropped = r.Dropped()
+	return f
+}
+
+// Aggregator merges job Folds into service-lifetime telemetry — the
+// source behind perspectord's per-stage histograms, queue-wait histogram
+// and worker-utilization gauges. Folding happens once per job at its
+// terminal transition (replayed jobs fold nothing), which makes the
+// series replay-proof: restarting the service and re-serving stored
+// results leaves them unchanged, exactly like the instr/sec gauge.
+type Aggregator struct {
+	mu         sync.Mutex
+	stages     map[string]*StageAgg
+	queueWait  StageAgg
+	workerBusy map[int]float64
+	wall       float64
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{stages: map[string]*StageAgg{}, workerBusy: map[int]float64{}}
+}
+
+// Add merges one job's Fold.
+func (g *Aggregator) Add(f Fold) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for name, agg := range f.Stages {
+		dst := g.stages[name]
+		if dst == nil {
+			dst = &StageAgg{}
+			g.stages[name] = dst
+		}
+		dst.merge(agg)
+	}
+	for w, busy := range f.WorkerBusy {
+		g.workerBusy[w] += busy
+	}
+	g.wall += f.Wall
+}
+
+// ObserveQueueWait folds one job's time-in-queue.
+func (g *Aggregator) ObserveQueueWait(d time.Duration) {
+	g.mu.Lock()
+	g.queueWait.Observe(d.Seconds())
+	g.mu.Unlock()
+}
+
+// StageSnapshot is one stage's aggregate in a Snapshot, sorted by name.
+type StageSnapshot struct {
+	Name string
+	Agg  StageAgg
+}
+
+// WorkerSnapshot is one worker's cumulative busy time plus its
+// utilization — busy seconds over the total folded job wall seconds.
+type WorkerSnapshot struct {
+	Worker      int
+	BusySeconds float64
+	Utilization float64
+}
+
+// Snapshot is a consistent copy of the aggregator for exposition.
+type Snapshot struct {
+	Stages      []StageSnapshot
+	QueueWait   StageAgg
+	Workers     []WorkerSnapshot
+	WallSeconds float64
+}
+
+// Snapshot returns a copy with stages and workers in sorted order, so
+// the /metrics rendering is stable for tests and diffing.
+func (g *Aggregator) Snapshot() Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := Snapshot{QueueWait: g.queueWait, WallSeconds: g.wall}
+	for name, agg := range g.stages {
+		s.Stages = append(s.Stages, StageSnapshot{Name: name, Agg: *agg})
+	}
+	sort.Slice(s.Stages, func(i, j int) bool { return s.Stages[i].Name < s.Stages[j].Name })
+	for w, busy := range g.workerBusy {
+		util := 0.0
+		if g.wall > 0 {
+			util = busy / g.wall
+		}
+		s.Workers = append(s.Workers, WorkerSnapshot{Worker: w, BusySeconds: busy, Utilization: util})
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
+	return s
+}
+
+// ManifestSchemaVersion identifies the manifest JSON schema.
+const ManifestSchemaVersion = 1
+
+// ManifestStage is one stage row of the manifest.
+type ManifestStage struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ManifestWorker is one pool worker's busy time over the run.
+type ManifestWorker struct {
+	Worker       int     `json:"worker"`
+	BusySeconds  float64 `json:"busy_seconds"`
+	BusyFraction float64 `json:"busy_fraction"`
+}
+
+// ManifestCache summarizes the measurement-cache counters.
+type ManifestCache struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Manifest is the machine-readable run summary written by -manifest:
+// where the run's time went (per stage and per worker), how the cache
+// behaved, and which result the run produced.
+type Manifest struct {
+	Schema      int              `json:"schema"`
+	Generator   string           `json:"generator,omitempty"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Stages      []ManifestStage  `json:"stages"`
+	Workers     []ManifestWorker `json:"workers,omitempty"`
+	Cache       *ManifestCache   `json:"cache,omitempty"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
+	Spans       int              `json:"spans"`
+	Dropped     int64            `json:"spans_dropped,omitempty"`
+	// ResultKey is the SHA-256 content address of the run's ScoreSet
+	// document, set by the caller that produced it.
+	ResultKey string `json:"result_key,omitempty"`
+}
+
+// Manifest summarizes the recorder into the -manifest document.
+// Generator and ResultKey are left for the caller. Nil-safe.
+func (r *Recorder) Manifest() Manifest {
+	f := r.Fold()
+	m := Manifest{
+		Schema:      ManifestSchemaVersion,
+		WallSeconds: f.Wall,
+		Stages:      []ManifestStage{},
+		Counters:    f.Counters,
+		Spans:       f.Spans,
+		Dropped:     f.Dropped,
+	}
+	for name, agg := range f.Stages {
+		m.Stages = append(m.Stages, ManifestStage{Name: name, Count: agg.Count, Seconds: agg.Sum})
+	}
+	sort.Slice(m.Stages, func(i, j int) bool { return m.Stages[i].Name < m.Stages[j].Name })
+	workers := make([]int, 0, len(f.WorkerBusy))
+	for w := range f.WorkerBusy {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		frac := 0.0
+		if f.Wall > 0 {
+			frac = f.WorkerBusy[w] / f.Wall
+		}
+		m.Workers = append(m.Workers, ManifestWorker{Worker: w, BusySeconds: f.WorkerBusy[w], BusyFraction: frac})
+	}
+	hits, misses := f.Counters[CounterCacheHits], f.Counters[CounterCacheMisses]
+	if hits+misses > 0 {
+		m.Cache = &ManifestCache{Hits: hits, Misses: misses, HitRatio: float64(hits) / float64(hits+misses)}
+	}
+	return m
+}
+
+// WriteManifest renders m as indented JSON.
+func WriteManifest(w io.Writer, m Manifest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("obs: writing manifest: %w", err)
+	}
+	return nil
+}

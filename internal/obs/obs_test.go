@@ -1,0 +1,406 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsFreeAndSafe(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("background context carries a recorder")
+	}
+	ctx2, sp := Start(ctx, "anything", String("k", "v"))
+	if ctx2 != ctx {
+		t.Fatal("Start without recorder derived a new context")
+	}
+	// All handle methods must be no-ops, not panics.
+	sp.SetAttr("a", "b")
+	sp.SetWorker(3)
+	sp.End()
+
+	var r *Recorder
+	r.Count("x", 1)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Counters() != nil {
+		t.Fatal("nil recorder reports non-empty state")
+	}
+	f := r.Fold()
+	if len(f.Stages) != 0 || f.Spans != 0 {
+		t.Fatalf("nil recorder fold: %+v", f)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil recorder WriteTrace: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil recorder trace is not valid JSON")
+	}
+	if WithRecorder(ctx, nil) != ctx {
+		t.Fatal("WithRecorder(nil) derived a context")
+	}
+}
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithRecorder(context.Background(), r)
+	ctx1, root := Start(ctx, "run")
+	ctx2, child := Start(ctx1, "measure", String("suite", "nbench"))
+	_, grand := Start(ctx2, "workload", String("workload", "nbench.fp"))
+	grand.End()
+	child.End()
+	root.End()
+
+	if got := r.Len(); got != 3 {
+		t.Fatalf("span count = %d, want 3", got)
+	}
+	spans := r.snapshot()
+	byName := map[string]spanRecord{}
+	for _, sp := range spans {
+		byName[sp.name] = sp
+	}
+	if byName["run"].parent != -1 {
+		t.Fatalf("root parent = %d, want -1", byName["run"].parent)
+	}
+	if byName["measure"].parent != byName["run"].id {
+		t.Fatal("measure is not a child of run")
+	}
+	if byName["workload"].parent != byName["measure"].id {
+		t.Fatal("workload is not a child of measure")
+	}
+	m := byName["measure"]
+	if m.nattr != 1 || m.attrs[0] != (Attr{"suite", "nbench"}) {
+		t.Fatalf("measure attrs: %+v", m.attrs[:m.nattr])
+	}
+	// Containment: child intervals inside parent intervals.
+	for _, pair := range [][2]string{{"run", "measure"}, {"measure", "workload"}} {
+		p, c := byName[pair[0]], byName[pair[1]]
+		if c.start < p.start || c.end > p.end {
+			t.Fatalf("%s [%d,%d] not inside %s [%d,%d]", pair[1], c.start, c.end, pair[0], p.start, p.end)
+		}
+	}
+}
+
+func TestAttrOverflowDropped(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithRecorder(context.Background(), r)
+	_, sp := Start(ctx, "s",
+		String("a", "1"), String("b", "2"), String("c", "3"),
+		String("d", "4"), String("e", "5"), String("f", "6"))
+	sp.SetAttr("g", "7")
+	sp.End()
+	spans := r.snapshot()
+	if spans[0].nattr != maxAttrs {
+		t.Fatalf("nattr = %d, want %d", spans[0].nattr, maxAttrs)
+	}
+}
+
+func TestSpanBoundCountsDrops(t *testing.T) {
+	r := NewRecorderBounded(2)
+	ctx := WithRecorder(context.Background(), r)
+	for i := 0; i < 5; i++ {
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	if r.Len() != 2 {
+		t.Fatalf("kept %d spans, want 2", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", r.Dropped())
+	}
+	m := r.Manifest()
+	if m.Dropped != 3 || m.Spans != 2 {
+		t.Fatalf("manifest spans=%d dropped=%d", m.Spans, m.Dropped)
+	}
+}
+
+// TestConcurrentSpans exercises the arena from many goroutines under
+// -race: slots are claimed under the lock, ends written by their owners.
+func TestConcurrentSpans(t *testing.T) {
+	r := NewRecorder()
+	root := WithRecorder(context.Background(), r)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, wsp := StartWorker(root, w)
+			for i := 0; i < per; i++ {
+				_, sp := Start(ctx, "task")
+				r.Count("tasks", 1)
+				sp.End()
+			}
+			wsp.End()
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Len(); got != workers*(per+1) {
+		t.Fatalf("span count = %d, want %d", got, workers*(per+1))
+	}
+	if got := r.Counters()["tasks"]; got != workers*per {
+		t.Fatalf("tasks counter = %d, want %d", got, workers*per)
+	}
+	f := r.Fold()
+	if len(f.WorkerBusy) != workers {
+		t.Fatalf("worker busy entries = %d, want %d", len(f.WorkerBusy), workers)
+	}
+	if f.Stages["task"] == nil || f.Stages["task"].Count != workers*per {
+		t.Fatalf("task stage agg: %+v", f.Stages["task"])
+	}
+	if f.Stages[WorkerSpan] != nil {
+		t.Fatal("pool.worker spans leaked into the stage aggregates")
+	}
+}
+
+func TestStageAggBuckets(t *testing.T) {
+	var a StageAgg
+	a.Observe(0.0001) // bucket 0 (le 0.001)
+	a.Observe(0.05)   // bucket 3 (le 0.1)
+	a.Observe(120)    // overflow bucket
+	if a.Count != 3 {
+		t.Fatalf("count = %d", a.Count)
+	}
+	want := [len(DurationBuckets) + 1]int64{0: 1, 3: 1, len(DurationBuckets): 1}
+	if a.Buckets != want {
+		t.Fatalf("buckets = %v, want %v", a.Buckets, want)
+	}
+}
+
+func TestAggregatorMergeAndSnapshot(t *testing.T) {
+	g := NewAggregator()
+	r1 := NewRecorder()
+	ctx := WithRecorder(context.Background(), r1)
+	wctx, wsp := StartWorker(ctx, 0)
+	_, sp := Start(wctx, "score")
+	sp.End()
+	wsp.End()
+	time.Sleep(time.Millisecond) // non-zero wall
+	g.Add(r1.Fold())
+	g.ObserveQueueWait(10 * time.Millisecond)
+	g.ObserveQueueWait(20 * time.Millisecond)
+
+	s := g.Snapshot()
+	if len(s.Stages) != 1 || s.Stages[0].Name != "score" || s.Stages[0].Agg.Count != 1 {
+		t.Fatalf("stages: %+v", s.Stages)
+	}
+	if s.QueueWait.Count != 2 {
+		t.Fatalf("queue wait count = %d", s.QueueWait.Count)
+	}
+	if len(s.Workers) != 1 || s.Workers[0].Worker != 0 {
+		t.Fatalf("workers: %+v", s.Workers)
+	}
+	if s.WallSeconds <= 0 {
+		t.Fatal("wall not accumulated")
+	}
+	if u := s.Workers[0].Utilization; u < 0 || u > 1 {
+		t.Fatalf("utilization %g out of [0,1]", u)
+	}
+}
+
+func TestManifestCacheRatioAndSorting(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithRecorder(context.Background(), r)
+	for _, name := range []string{"zeta", "alpha", "alpha"} {
+		_, sp := Start(ctx, name)
+		sp.End()
+	}
+	r.Count(CounterCacheHits, 3)
+	r.Count(CounterCacheMisses, 1)
+	m := r.Manifest()
+	if m.Schema != ManifestSchemaVersion {
+		t.Fatalf("schema = %d", m.Schema)
+	}
+	if len(m.Stages) != 2 || m.Stages[0].Name != "alpha" || m.Stages[1].Name != "zeta" {
+		t.Fatalf("stages not sorted: %+v", m.Stages)
+	}
+	if m.Stages[0].Count != 2 {
+		t.Fatalf("alpha count = %d", m.Stages[0].Count)
+	}
+	if m.Cache == nil || m.Cache.HitRatio != 0.75 {
+		t.Fatalf("cache block: %+v", m.Cache)
+	}
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	if back.Cache.Hits != 3 {
+		t.Fatalf("round-tripped hits = %d", back.Cache.Hits)
+	}
+}
+
+// decodedEvent mirrors traceEvent for decoding.
+type decodedEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// TestTraceRoundTrip pins the -trace-out contract: the output is valid
+// trace-event JSON, every span event carries its span/parent ids, child
+// spans are strictly nested inside their parents, and events sharing a
+// track never partially overlap.
+func TestTraceRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	root := WithRecorder(context.Background(), r)
+	rctx, run := Start(root, "run")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, wsp := StartWorker(rctx, w)
+			for i := 0; i < 3; i++ {
+				_, sp := Start(ctx, "workload", String("suite", "nbench"))
+				time.Sleep(time.Microsecond)
+				sp.End()
+			}
+			wsp.End()
+		}(w)
+	}
+	wg.Wait()
+	run.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents     []decodedEvent `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	byID := map[int]decodedEvent{}
+	var xs []decodedEvent
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		id, ok := ev.Args["span"].(float64)
+		if !ok {
+			t.Fatalf("span event without span id: %+v", ev)
+		}
+		byID[int(id)] = ev
+		xs = append(xs, ev)
+	}
+	if len(xs) != r.Len() {
+		t.Fatalf("emitted %d X events for %d spans", len(xs), r.Len())
+	}
+	// Parent containment, strictly nested.
+	for _, ev := range xs {
+		pid := int(ev.Args["parent"].(float64))
+		if pid < 0 {
+			continue
+		}
+		p, ok := byID[pid]
+		if !ok {
+			t.Fatalf("span %v has unknown parent %d", ev.Args["span"], pid)
+		}
+		if ev.Ts < p.Ts || ev.Ts+ev.Dur > p.Ts+p.Dur {
+			t.Fatalf("span %s [%g,%g] escapes parent %s [%g,%g]",
+				ev.Name, ev.Ts, ev.Ts+ev.Dur, p.Name, p.Ts, p.Ts+p.Dur)
+		}
+	}
+	// Track discipline: on one tid, events sorted by start must nest.
+	byTid := map[int][]decodedEvent{}
+	for _, ev := range xs {
+		byTid[ev.Tid] = append(byTid[ev.Tid], ev)
+	}
+	for tid, evs := range byTid {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].Ts != evs[j].Ts {
+				return evs[i].Ts < evs[j].Ts
+			}
+			return evs[i].Dur > evs[j].Dur
+		})
+		var open []decodedEvent
+		for _, ev := range evs {
+			for len(open) > 0 && open[len(open)-1].Ts+open[len(open)-1].Dur <= ev.Ts {
+				open = open[:len(open)-1]
+			}
+			if len(open) > 0 {
+				top := open[len(open)-1]
+				if ev.Ts+ev.Dur > top.Ts+top.Dur {
+					t.Fatalf("tid %d: %s [%g,%g] partially overlaps %s [%g,%g]",
+						tid, ev.Name, ev.Ts, ev.Ts+ev.Dur, top.Name, top.Ts, top.Ts+top.Dur)
+				}
+			}
+			open = append(open, ev)
+		}
+	}
+	// Worker spans must have landed on named worker tracks.
+	names := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			names[ev.Args["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"worker 0", "worker 1", "worker 2", "worker 3"} {
+		if !names[want] {
+			t.Fatalf("missing track %q in %v", want, names)
+		}
+	}
+}
+
+// TestFoldClosesOpenSpans pins that folding a recorder with an
+// unfinished span never produces a negative duration.
+func TestFoldClosesOpenSpans(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithRecorder(context.Background(), r)
+	Start(ctx, "left-open")
+	f := r.Fold()
+	agg := f.Stages["left-open"]
+	if agg == nil || agg.Count != 1 || agg.Sum < 0 {
+		t.Fatalf("open-span fold: %+v", agg)
+	}
+}
+
+// TestFoldNestedPoolsCountOnce pins the double-billing fix: when a pool
+// worker's task fans out through a second pool, the inner worker spans
+// sit inside the outer worker's interval and must not add busy time of
+// their own — otherwise busy fractions exceed 1.
+func TestFoldNestedPoolsCountOnce(t *testing.T) {
+	r := NewRecorder()
+	ctx := WithRecorder(context.Background(), r)
+	octx, outer := StartWorker(ctx, 0)
+	time.Sleep(2 * time.Millisecond)
+	for w := 0; w < 2; w++ {
+		ictx, inner := StartWorker(octx, w)
+		_, sp := Start(ictx, "workload")
+		sp.End()
+		inner.End()
+	}
+	outer.End()
+	f := r.Fold()
+	if len(f.WorkerBusy) != 1 {
+		t.Fatalf("WorkerBusy has %d entries, want 1 (outer only): %v", len(f.WorkerBusy), f.WorkerBusy)
+	}
+	if f.WorkerBusy[0] > f.Wall {
+		t.Fatalf("worker 0 busy %g exceeds wall %g — nested pool double-billed", f.WorkerBusy[0], f.Wall)
+	}
+	if agg := f.Stages["workload"]; agg == nil || agg.Count != 2 {
+		t.Fatalf("nested stage spans must still fold: %+v", agg)
+	}
+	m := r.Manifest()
+	for _, w := range m.Workers {
+		if w.BusyFraction > 1 {
+			t.Fatalf("worker %d busy_fraction %g > 1", w.Worker, w.BusyFraction)
+		}
+	}
+}

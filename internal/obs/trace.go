@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one Chrome trace-event JSON object. WriteTrace emits
+// complete-duration ("X") events plus "M" metadata events naming the
+// tracks; timestamps are microseconds since the recorder epoch.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object envelope Perfetto and chrome://tracing
+// both accept.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// lane is one output track during assignment: a stack of currently open
+// span end times plus the end of the last span placed on the track.
+type lane struct {
+	open    []int64 // end times of open spans, outermost first
+	lastEnd int64
+	label   string
+}
+
+// fits reports whether a span [start, end] can be placed on the lane
+// without partial overlap: either every open span has closed by start,
+// or the span nests inside the innermost still-open one.
+func (l *lane) fits(start, end int64) bool {
+	for len(l.open) > 0 && l.open[len(l.open)-1] <= start {
+		l.open = l.open[:len(l.open)-1]
+	}
+	if len(l.open) == 0 {
+		return start >= l.lastEnd
+	}
+	return end <= l.open[len(l.open)-1]
+}
+
+func (l *lane) place(start, end int64) {
+	l.open = append(l.open, end)
+	if end > l.lastEnd {
+		l.lastEnd = end
+	}
+}
+
+// assignLanes places the group's spans (indices into spans) onto as few
+// lanes as preserve proper nesting, returning the lane index per span.
+func assignLanes(spans []spanRecord, group []int, lanes *[]*lane) []int {
+	sort.SliceStable(group, func(a, b int) bool {
+		sa, sb := &spans[group[a]], &spans[group[b]]
+		if sa.start != sb.start {
+			return sa.start < sb.start
+		}
+		if sa.end != sb.end {
+			return sa.end > sb.end // longest first: parents before children
+		}
+		return sa.id < sb.id
+	})
+	laneOf := make([]int, len(group))
+	for gi, i := range group {
+		sp := &spans[i]
+		placed := -1
+		for t, l := range *lanes {
+			if l.fits(sp.start, sp.end) {
+				placed = t
+				break
+			}
+		}
+		if placed < 0 {
+			*lanes = append(*lanes, &lane{})
+			placed = len(*lanes) - 1
+		}
+		(*lanes)[placed].place(sp.start, sp.end)
+		laneOf[gi] = placed
+	}
+	return laneOf
+}
+
+// WriteTrace renders the collected spans as Chrome trace-event JSON,
+// viewable in Perfetto (ui.perfetto.dev) or chrome://tracing. Tracks are
+// assigned by worker lineage: every span whose nearest worker-bound
+// ancestor (or itself) is pool worker N lands on a "worker N" track, so
+// pool utilization reads directly as track occupancy; spans outside any
+// worker land on "main". Within a group extra tracks ("worker N #2") are
+// opened only when concurrent pools reuse a worker id and their spans
+// would otherwise partially overlap — events on one track always nest.
+// Still-open spans are closed at the current time. Nil-safe: a nil
+// recorder writes an empty (but valid) trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	var spans []spanRecord
+	if r != nil {
+		spans = r.snapshot()
+	}
+	// Worker lineage: self if bound, else nearest bound ancestor, else -1.
+	byID := make(map[int32]int, len(spans))
+	for i := range spans {
+		byID[spans[i].id] = i
+	}
+	lineage := make([]int, len(spans)) // memo, shifted by two so 0 = unset
+	var lineageOf func(i int) int
+	lineageOf = func(i int) int {
+		if lineage[i] != 0 {
+			return lineage[i] - 2
+		}
+		sp := &spans[i]
+		w := -1
+		if sp.worker >= 0 {
+			w = int(sp.worker)
+		} else if p, ok := byID[sp.parent]; ok {
+			w = lineageOf(p)
+		}
+		lineage[i] = w + 2
+		return w
+	}
+	groups := map[int][]int{}
+	for i := range spans {
+		w := lineageOf(i)
+		groups[w] = append(groups[w], i)
+	}
+	order := make([]int, 0, len(groups))
+	for w := range groups {
+		order = append(order, w)
+	}
+	sort.Ints(order) // -1 (main) first, then worker ids ascending
+
+	tidOf := make([]int, len(spans))
+	var labels []string
+	for _, wid := range order {
+		var lanes []*lane
+		laneOf := assignLanes(spans, groups[wid], &lanes)
+		base := len(labels)
+		for t := range lanes {
+			var label string
+			switch {
+			case wid < 0 && t == 0:
+				label = "main"
+			case wid < 0:
+				label = fmt.Sprintf("track %d", t)
+			case t == 0:
+				label = fmt.Sprintf("worker %d", wid)
+			default:
+				label = fmt.Sprintf("worker %d #%d", wid, t+1)
+			}
+			labels = append(labels, label)
+		}
+		for gi, i := range groups[wid] {
+			tidOf[i] = base + laneOf[gi]
+		}
+	}
+
+	events := make([]traceEvent, 0, len(spans)+len(labels)+1)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "perspector"},
+	})
+	for t, label := range labels {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: t,
+			Args: map[string]any{"name": label},
+		})
+	}
+	for i := range spans {
+		sp := &spans[i]
+		dur := float64(sp.end-sp.start) / 1e3
+		args := map[string]any{"span": int(sp.id), "parent": int(sp.parent)}
+		if sp.worker >= 0 {
+			args["worker"] = int(sp.worker)
+		}
+		for _, a := range sp.attrs[:sp.nattr] {
+			args[a.Key] = a.Value
+		}
+		events = append(events, traceEvent{
+			Name: sp.name, Cat: "perspector", Ph: "X",
+			Ts: float64(sp.start) / 1e3, Dur: &dur,
+			Pid: 1, Tid: tidOf[i], Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

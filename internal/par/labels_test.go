@@ -1,0 +1,62 @@
+package par
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"io"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// TestDoErrCtxAppliesPprofLabels pins the profiling contract: labels set
+// on the caller's context (suite) plus the per-worker label DoErrCtx adds
+// and the per-task labels instrumented code adds via pprof.Do all appear
+// on CPU samples taken inside pool tasks. The profile is gzip+protobuf;
+// rather than depend on a profile parser, the test decompresses it and
+// looks for the label strings in the string table.
+func TestDoErrCtxAppliesPprofLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs real CPU time to collect profile samples")
+	}
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	ctx := pprof.WithLabels(context.Background(), pprof.Labels("suite", "labeltestsuite"))
+	err := DoErrCtx(ctx, 4, func(ctx context.Context, worker, i int) error {
+		pprof.Do(ctx, pprof.Labels("stage", "labelteststage"), func(context.Context) {
+			deadline := time.Now().Add(150 * time.Millisecond)
+			x := 0
+			for time.Now().Before(deadline) {
+				for j := 0; j < 1000; j++ {
+					x += j * j
+				}
+			}
+			_ = x
+		})
+		return nil
+	})
+	pprof.StopCPUProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gz, gerr := gzip.NewReader(&buf)
+	if gerr != nil {
+		t.Fatalf("profile is not gzip: %v", gerr)
+	}
+	raw, rerr := io.ReadAll(gz)
+	if rerr != nil {
+		t.Fatalf("decompressing profile: %v", rerr)
+	}
+	for _, want := range []string{"suite", "labeltestsuite", "stage", "labelteststage", "worker"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("profile is missing label string %q", want)
+		}
+	}
+}

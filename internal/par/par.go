@@ -20,9 +20,12 @@ import (
 	"context"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"perspector/internal/obs"
 )
 
 // workers is the configured pool width; 0 means "derive from NumCPU".
@@ -105,6 +108,22 @@ func Do(n int, fn func(worker, i int)) {
 // lowest failing index (deterministic regardless of scheduling), or
 // ctx.Err() when the context ended first and no task failed.
 func DoErr(ctx context.Context, n int, fn func(worker, i int) error) error {
+	return doErr(ctx, n, func(_ context.Context, worker, i int) error {
+		return fn(worker, i)
+	}, false)
+}
+
+// DoErrCtx is DoErr for instrumented fan-outs: each worker derives its own
+// context carrying an obs pool-worker span (so spans started by fn nest
+// under their worker's track in the trace, and the fold attributes busy
+// time per worker) plus a pprof "worker" goroutine label, and passes it to
+// fn. The hot numeric fan-outs keep using DoErr and pay none of this; the
+// suite and engine fan-outs — a handful of calls per run — use DoErrCtx.
+func DoErrCtx(ctx context.Context, n int, fn func(ctx context.Context, worker, i int) error) error {
+	return doErr(ctx, n, fn, true)
+}
+
+func doErr(ctx context.Context, n int, fn func(ctx context.Context, worker, i int) error, instrument bool) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -128,7 +147,7 @@ func DoErr(ctx context.Context, n int, fn func(worker, i int) error) error {
 		mu.Unlock()
 		stopped.Store(true)
 	}
-	body := func(worker int) {
+	body := func(ctx context.Context, worker int) {
 		for {
 			if stopped.Load() || ctx.Err() != nil {
 				return
@@ -137,21 +156,31 @@ func DoErr(ctx context.Context, n int, fn func(worker, i int) error) error {
 			if i >= n {
 				return
 			}
-			if err := fn(worker, i); err != nil {
+			if err := fn(ctx, worker, i); err != nil {
 				record(i, err)
 				return
 			}
 		}
 	}
+	run := body
+	if instrument {
+		run = func(ctx context.Context, worker int) {
+			wctx, span := obs.StartWorker(ctx, worker)
+			pprof.Do(wctx, pprof.Labels("worker", strconv.Itoa(worker)), func(ctx context.Context) {
+				body(ctx, worker)
+			})
+			span.End()
+		}
+	}
 	if w == 1 {
-		body(0)
+		run(ctx, 0)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(w)
 		for id := 0; id < w; id++ {
 			go func(worker int) {
 				defer wg.Done()
-				body(worker)
+				run(ctx, worker)
 			}(id)
 		}
 		wg.Wait()

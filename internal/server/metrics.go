@@ -9,6 +9,7 @@ import (
 
 	"perspector/internal/cache"
 	"perspector/internal/jobs"
+	"perspector/internal/obs"
 	"perspector/internal/store"
 )
 
@@ -51,38 +52,92 @@ func (m *Metrics) ObserveRequest(route string, code int, elapsed time.Duration) 
 	m.latencyCount[route]++
 }
 
+// requestSnapshot is the copied request-counter state rendered outside
+// the lock.
+type requestSnapshot struct {
+	routes       []string
+	requests     map[string]map[int]int64
+	latencySum   map[string]float64
+	latencyCount map[string]int64
+	uptime       float64
+}
+
+// snapshot copies the mutable counter state under the lock. Rendering
+// happens outside it, so a slow /metrics client can never block
+// ObserveRequest (and with it every request handler).
+func (m *Metrics) snapshot() requestSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := requestSnapshot{
+		requests:     make(map[string]map[int]int64, len(m.requests)),
+		latencySum:   make(map[string]float64, len(m.latencySum)),
+		latencyCount: make(map[string]int64, len(m.latencyCount)),
+		uptime:       time.Since(m.started).Seconds(),
+	}
+	for route, byCode := range m.requests {
+		s.routes = append(s.routes, route)
+		codes := make(map[int]int64, len(byCode))
+		for c, n := range byCode {
+			codes[c] = n
+		}
+		s.requests[route] = codes
+		s.latencySum[route] = m.latencySum[route]
+		s.latencyCount[route] = m.latencyCount[route]
+	}
+	sort.Strings(s.routes)
+	return s
+}
+
+// writeHistogram renders one obs.StageAgg as a Prometheus histogram with
+// cumulative le buckets. labels is the rendered label set without the
+// braces ("" for none); the le label is appended to it.
+func writeHistogram(w io.Writer, name, labels string, agg obs.StageAgg) {
+	cum := int64(0)
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, ub := range obs.DurationBuckets {
+		cum += agg.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, ub, cum)
+	}
+	cum += agg.Buckets[len(obs.DurationBuckets)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, agg.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, agg.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, agg.Sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, agg.Count)
+	}
+}
+
 // Write renders the Prometheus text exposition: the accumulated request
 // counters plus live gauges from the queue, result store and
 // measurement cache. Series are emitted in sorted label order, so the
-// output is stable for tests and diffing.
+// output is stable for tests and diffing. The internal lock is held only
+// while copying counters, never while writing to w.
 func (m *Metrics) Write(w io.Writer, q *jobs.Queue, st *store.Store, cs *cache.Store) {
-	m.mu.Lock()
-	routes := make([]string, 0, len(m.requests))
-	for r := range m.requests {
-		routes = append(routes, r)
-	}
-	sort.Strings(routes)
+	s := m.snapshot()
 
 	fmt.Fprintln(w, "# HELP perspectord_requests_total HTTP requests served, by route and status code.")
 	fmt.Fprintln(w, "# TYPE perspectord_requests_total counter")
-	for _, route := range routes {
-		codes := make([]int, 0, len(m.requests[route]))
-		for c := range m.requests[route] {
+	for _, route := range s.routes {
+		codes := make([]int, 0, len(s.requests[route]))
+		for c := range s.requests[route] {
 			codes = append(codes, c)
 		}
 		sort.Ints(codes)
 		for _, c := range codes {
-			fmt.Fprintf(w, "perspectord_requests_total{route=%q,code=\"%d\"} %d\n", route, c, m.requests[route][c])
+			fmt.Fprintf(w, "perspectord_requests_total{route=%q,code=\"%d\"} %d\n", route, c, s.requests[route][c])
 		}
 	}
 	fmt.Fprintln(w, "# HELP perspectord_request_duration_seconds Total request latency, by route.")
 	fmt.Fprintln(w, "# TYPE perspectord_request_duration_seconds summary")
-	for _, route := range routes {
-		fmt.Fprintf(w, "perspectord_request_duration_seconds_sum{route=%q} %g\n", route, m.latencySum[route])
-		fmt.Fprintf(w, "perspectord_request_duration_seconds_count{route=%q} %d\n", route, m.latencyCount[route])
+	for _, route := range s.routes {
+		fmt.Fprintf(w, "perspectord_request_duration_seconds_sum{route=%q} %g\n", route, s.latencySum[route])
+		fmt.Fprintf(w, "perspectord_request_duration_seconds_count{route=%q} %d\n", route, s.latencyCount[route])
 	}
-	uptime := time.Since(m.started).Seconds()
-	m.mu.Unlock()
 
 	if q != nil {
 		counts := q.Counts()
@@ -100,6 +155,30 @@ func (m *Metrics) Write(w io.Writer, q *jobs.Queue, st *store.Store, cs *cache.S
 		fmt.Fprintln(w, "# HELP perspector_simulated_instructions_per_second EWMA (alpha 0.25) of per-job simulated instruction throughput, folded at job completion; 0 until a simulating job finishes.")
 		fmt.Fprintln(w, "# TYPE perspector_simulated_instructions_per_second gauge")
 		fmt.Fprintf(w, "perspector_simulated_instructions_per_second %g\n", q.SimulatedInstrPerSec())
+
+		// Span-fold telemetry: per-stage histograms, queue wait and worker
+		// utilization, merged once per executed job at its terminal
+		// transition (replays fold nothing, so these survive store replay
+		// unchanged).
+		ts := q.Telemetry().Snapshot()
+		fmt.Fprintln(w, "# HELP perspectord_stage_duration_seconds Pipeline stage latency from job span folds, by stage.")
+		fmt.Fprintln(w, "# TYPE perspectord_stage_duration_seconds histogram")
+		for _, stg := range ts.Stages {
+			writeHistogram(w, "perspectord_stage_duration_seconds", fmt.Sprintf("stage=%q", stg.Name), stg.Agg)
+		}
+		fmt.Fprintln(w, "# HELP perspectord_queue_wait_seconds Time executed jobs spent queued before starting.")
+		fmt.Fprintln(w, "# TYPE perspectord_queue_wait_seconds histogram")
+		writeHistogram(w, "perspectord_queue_wait_seconds", "", ts.QueueWait)
+		fmt.Fprintln(w, "# HELP perspectord_worker_busy_seconds_total Pool-worker busy time from job span folds, by worker.")
+		fmt.Fprintln(w, "# TYPE perspectord_worker_busy_seconds_total counter")
+		for _, ws := range ts.Workers {
+			fmt.Fprintf(w, "perspectord_worker_busy_seconds_total{worker=\"%d\"} %g\n", ws.Worker, ws.BusySeconds)
+		}
+		fmt.Fprintln(w, "# HELP perspectord_worker_utilization Worker busy fraction of total executed-job wall time.")
+		fmt.Fprintln(w, "# TYPE perspectord_worker_utilization gauge")
+		for _, ws := range ts.Workers {
+			fmt.Fprintf(w, "perspectord_worker_utilization{worker=\"%d\"} %g\n", ws.Worker, ws.Utilization)
+		}
 	}
 	if st != nil {
 		fmt.Fprintln(w, "# HELP perspectord_results_stored Distinct result documents in the store.")
@@ -124,5 +203,5 @@ func (m *Metrics) Write(w io.Writer, q *jobs.Queue, st *store.Store, cs *cache.S
 	}
 	fmt.Fprintln(w, "# HELP perspectord_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE perspectord_uptime_seconds gauge")
-	fmt.Fprintf(w, "perspectord_uptime_seconds %g\n", uptime)
+	fmt.Fprintf(w, "perspectord_uptime_seconds %g\n", s.uptime)
 }

@@ -39,8 +39,10 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"time"
 
+	"perspector/internal/buildinfo"
 	"perspector/internal/cache"
 	"perspector/internal/jobs"
 	"perspector/internal/store"
@@ -320,7 +322,12 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"build":      buildinfo.Read(),
+		"goroutines": runtime.NumGoroutine(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,258 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"perspector/internal/jobs"
+	"perspector/internal/metric"
+	"perspector/internal/obs"
+	"perspector/internal/server"
+	"perspector/internal/store"
+)
+
+// blockingWriter blocks its first Write until released, standing in for
+// a stalled /metrics client on an unbuffered connection.
+type blockingWriter struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() {
+		close(w.entered)
+		<-w.release
+	})
+	return len(p), nil
+}
+
+// TestMetricsWriteDoesNotBlockObserve pins the lock-scope fix: Metrics
+// rendering to a stalled writer must not hold the mutex, so request
+// observation (and with it every request handler) proceeds while the
+// slow client drains.
+func TestMetricsWriteDoesNotBlockObserve(t *testing.T) {
+	m := server.NewMetrics()
+	m.ObserveRequest("GET /a", http.StatusOK, time.Millisecond)
+
+	bw := &blockingWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	writeDone := make(chan struct{})
+	go func() {
+		m.Write(bw, nil, nil, nil)
+		close(writeDone)
+	}()
+	<-bw.entered // the render is now mid-write, stalled
+
+	observed := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			m.ObserveRequest("GET /b", http.StatusOK, time.Millisecond)
+		}
+		close(observed)
+	}()
+	select {
+	case <-observed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ObserveRequest blocked behind a stalled /metrics client")
+	}
+	close(bw.release)
+	<-writeDone
+}
+
+// telemetryRunner records a fixed span shape — two pool workers each
+// measuring once — so the exposition's series set is machine-independent.
+func telemetryRunner(ctx context.Context, h *jobs.Handle) (store.ScoreSet, error) {
+	for w := 0; w < 2; w++ {
+		wctx, wsp := obs.StartWorker(ctx, w)
+		_, sp := obs.Start(wctx, "measure", obs.String("suite", "nbench"))
+		sp.End()
+		wsp.End()
+	}
+	return store.New(store.KindScore, "all", "simulator",
+		&store.RunConfig{Instructions: 1000, Samples: 10, Seed: 1},
+		[]metric.Scores{{Suite: h.Request().Suites[0], Cluster: 0.5}}), nil
+}
+
+// TestMetricsExpositionGolden pins the full sorted series set of the
+// exposition after one executed job — values masked, names and labels
+// exact — including the span-fold histograms and worker gauges.
+func TestMetricsExpositionGolden(t *testing.T) {
+	env := newEnv(t, telemetryRunner, jobs.Options{Workers: 1}, nil)
+	code, data := env.do(t, "POST", "/api/v1/jobs", scoreBody(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var sub submitResp
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ = env.do(t, "GET", "/api/v1/jobs/"+sub.Job.ID+"/result?wait=1", nil); code != http.StatusOK {
+		t.Fatalf("result: %d", code)
+	}
+
+	_, body := env.do(t, "GET", "/metrics", nil)
+	var got []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Mask the value: a series line is "<name{labels}> <value>".
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable series line %q", line)
+		}
+		got = append(got, line[:i])
+	}
+	sort.Strings(got)
+
+	var want []string
+	series := func(format string, args ...any) {
+		want = append(want, fmt.Sprintf(format, args...))
+	}
+	histogram := func(name, labels string) {
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		for _, ub := range obs.DurationBuckets {
+			series("%s_bucket{%s%sle=\"%g\"}", name, labels, sep, ub)
+		}
+		series("%s_bucket{%s%sle=\"+Inf\"}", name, labels, sep)
+		if labels == "" {
+			series("%s_sum", name)
+			series("%s_count", name)
+		} else {
+			series("%s_sum{%s}", name, labels)
+			series("%s_count{%s}", name, labels)
+		}
+	}
+	for _, route := range []string{"GET /api/v1/jobs/{id}/result", "POST /api/v1/jobs"} {
+		code := 200
+		if strings.HasPrefix(route, "POST") {
+			code = 202
+		}
+		series("perspectord_requests_total{route=%q,code=\"%d\"}", route, code)
+		series("perspectord_request_duration_seconds_sum{route=%q}", route)
+		series("perspectord_request_duration_seconds_count{route=%q}", route)
+	}
+	for _, state := range jobs.States() {
+		series("perspectord_jobs{state=%q}", string(state))
+	}
+	series("perspectord_queue_depth")
+	series("perspectord_instructions_retired_total")
+	series("perspector_simulated_instructions_per_second")
+	// The queue records "job" and "store" spans itself; the runner adds
+	// "measure" under two workers.
+	for _, stage := range []string{"job", "measure", "store"} {
+		histogram("perspectord_stage_duration_seconds", fmt.Sprintf("stage=%q", stage))
+	}
+	histogram("perspectord_queue_wait_seconds", "")
+	for w := 0; w < 2; w++ {
+		series("perspectord_worker_busy_seconds_total{worker=\"%d\"}", w)
+	}
+	for w := 0; w < 2; w++ {
+		series("perspectord_worker_utilization{worker=\"%d\"}", w)
+	}
+	series("perspectord_results_stored")
+	series("perspectord_uptime_seconds")
+	sort.Strings(want)
+
+	if len(got) != len(want) {
+		t.Fatalf("series count = %d, want %d\ngot:\n%s\nwant:\n%s",
+			len(got), len(want), strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMetricsSurviveReplay pins the acceptance criterion: resubmitting a
+// stored request replays from the store and leaves every span-fold series
+// byte-identical (values included, uptime excluded).
+func TestMetricsSurviveReplay(t *testing.T) {
+	env := newEnv(t, telemetryRunner, jobs.Options{Workers: 1}, nil)
+	code, data := env.do(t, "POST", "/api/v1/jobs", scoreBody(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	var sub submitResp
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ = env.do(t, "GET", "/api/v1/jobs/"+sub.Job.ID+"/result?wait=1", nil); code != http.StatusOK {
+		t.Fatalf("result: %d", code)
+	}
+	foldSeries := func() []string {
+		_, body := env.do(t, "GET", "/metrics", nil)
+		var out []string
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "perspectord_stage_duration_seconds") ||
+				strings.HasPrefix(line, "perspectord_queue_wait_seconds") ||
+				strings.HasPrefix(line, "perspectord_worker_") {
+				out = append(out, line)
+			}
+		}
+		return out
+	}
+	before := foldSeries()
+
+	code, data = env.do(t, "POST", "/api/v1/jobs", scoreBody(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: %d", code)
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ = env.do(t, "GET", "/api/v1/jobs/"+sub.Job.ID+"/result?wait=1", nil); code != http.StatusOK {
+		t.Fatalf("replay result: %d", code)
+	}
+	snap, _ := env.q.Get(sub.Job.ID)
+	if !snap.Replayed {
+		t.Fatalf("resubmission was not a replay: %+v", snap)
+	}
+	after := foldSeries()
+	if strings.Join(before, "\n") != strings.Join(after, "\n") {
+		t.Fatalf("replay changed fold series:\nbefore:\n%s\nafter:\n%s",
+			strings.Join(before, "\n"), strings.Join(after, "\n"))
+	}
+}
+
+// TestHealthzBuildInfo pins the /healthz version block.
+func TestHealthzBuildInfo(t *testing.T) {
+	env := newEnv(t, stubRunner{}.run, jobs.Options{Workers: 1}, nil)
+	code, body := env.do(t, "GET", "/healthz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Build  struct {
+			Version   string `json:"version"`
+			GoVersion string `json:"go_version"`
+			OS        string `json:"os"`
+			Arch      string `json:"arch"`
+		} `json:"build"`
+		Goroutines int `json:"goroutines"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.Build.Version == "" || h.Build.GoVersion == "" || h.Build.OS == "" || h.Build.Arch == "" {
+		t.Fatalf("incomplete build info: %+v", h.Build)
+	}
+	if h.Goroutines < 1 {
+		t.Fatalf("goroutines = %d", h.Goroutines)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"perspector/internal/cache"
+	"perspector/internal/obs"
 	"perspector/internal/perf"
 	"perspector/internal/stage"
 	"perspector/internal/suites"
@@ -136,13 +137,20 @@ type Caching struct {
 // the inner source and stores the result. A failed store write (e.g.
 // full disk) never fails the measurement itself.
 func (src Caching) Measure(ctx context.Context, s suites.Suite) (*perf.SuiteMeasurement, error) {
+	ctx, span := obs.Start(ctx, "measure", obs.String("suite", s.Name))
+	defer span.End()
 	key := src.Inner.Key(s)
 	if key == "" {
+		span.SetAttr("cache", "bypass")
 		return src.Inner.Measure(ctx, s)
 	}
 	if m, ok := src.Store.Get(key); ok {
+		span.SetAttr("cache", "hit")
+		obs.FromContext(ctx).Count(obs.CounterCacheHits, 1)
 		return m, nil
 	}
+	span.SetAttr("cache", "miss")
+	obs.FromContext(ctx).Count(obs.CounterCacheMisses, 1)
 	m, err := src.Inner.Measure(ctx, s)
 	if err != nil {
 		return nil, err

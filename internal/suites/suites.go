@@ -13,7 +13,9 @@ package suites
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 
+	"perspector/internal/obs"
 	"perspector/internal/par"
 	"perspector/internal/perf"
 	"perspector/internal/rng"
@@ -140,8 +142,16 @@ func RunContext(ctx context.Context, s Suite, cfg Config) (*perf.SuiteMeasuremen
 		Suite:     s.Name,
 		Workloads: make([]perf.Measurement, len(s.Specs)),
 	}
-	err := par.DoErr(ctx, len(s.Specs), func(_, i int) error {
-		meas, err := runOne(ctx, s.Specs[i], cfg)
+	// The suite label rides the context into the pool workers (DoErrCtx
+	// re-applies context labels per worker goroutine), so CPU-profile
+	// samples of simulator work attribute to the suite being measured.
+	ctx = pprof.WithLabels(ctx, pprof.Labels("suite", s.Name))
+	err := par.DoErrCtx(ctx, len(s.Specs), func(ctx context.Context, worker, i int) error {
+		wctx, span := obs.Start(ctx, "workload",
+			obs.String("suite", s.Name), obs.String("workload", s.Specs[i].Name))
+		span.SetWorker(worker)
+		meas, err := runOne(wctx, s.Specs[i], cfg)
+		span.End()
 		if err != nil {
 			return stage.Wrap(stage.Measure, s.Name, s.Specs[i].Name, err)
 		}
@@ -174,7 +184,12 @@ func runOne(ctx context.Context, spec workload.Spec, cfg Config) (*perf.Measurem
 	if err != nil {
 		return nil, err
 	}
-	meas, err := m.RunContext(ctx, prog, spec.Instructions)
+	// pprof.Do scopes the workload/stage labels to exactly the simulator
+	// run, so /debug/pprof/profile samples attribute to pipeline work.
+	var meas *perf.Measurement
+	pprof.Do(ctx, pprof.Labels("workload", spec.Name, "stage", "measure"), func(ctx context.Context) {
+		meas, err = m.RunContext(ctx, prog, spec.Instructions)
+	})
 	uarch.DefaultMachinePool.Put(m)
 	return meas, err
 }
