@@ -296,6 +296,48 @@ func BenchmarkSimulateSuite(b *testing.B) {
 	b.ReportMetric(float64(totalInstr), "instructions/op")
 }
 
+// BenchmarkSimulateWorkload measures the simulator on a single workload —
+// the first Nbench kernel — so per-core throughput is separable from the
+// suite-level number, which folds in the worker fan-out and any
+// cross-workload machine reuse.
+func BenchmarkSimulateWorkload(b *testing.B) {
+	cfg := benchConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Specs = s.Specs[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perspector.Measure(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cfg.Instructions), "instructions/op")
+}
+
+// BenchmarkSimulateSuiteTotalsOnly is BenchmarkSimulateSuite through the
+// counters-only fast path: no sampled series is built, and the totals are
+// pinned bit-identical to the full run by TestCountersOnlyMatchesFullTotals.
+func BenchmarkSimulateSuiteTotalsOnly(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TotalsOnly = true
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalInstr := cfg.Instructions * uint64(len(s.Specs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perspector.Measure(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalInstr), "instructions/op")
+}
+
 // BenchmarkSimulateSuiteRecorder is BenchmarkSimulateSuite with a live
 // telemetry recorder attached — the pair quantifies the span overhead
 // the observability acceptance criterion bounds at 2%. A fresh recorder

@@ -7,10 +7,24 @@
 //	go run ./cmd/benchjson -out BENCH_simulator.json
 //
 // and compare simulated_instr_per_sec across commits. The benchmark
-// bodies mirror BenchmarkSimulateSuite (suite level) and the
-// BenchmarkCacheAccess / BenchmarkTLBTranslate / BenchmarkMachineStep
-// microbenchmarks (component level), so a regression can be localized to
-// the layer that caused it.
+// bodies mirror BenchmarkSimulateSuite / BenchmarkSimulateWorkload
+// (suite and per-workload level) and the BenchmarkCacheAccess /
+// BenchmarkTLBTranslate / BenchmarkMachineStep microbenchmarks
+// (component level), so a regression can be localized to the layer that
+// caused it; SimulateSuiteTotalsOnly measures the counters-only fast
+// path against the full sampled run.
+//
+// Each run also appends one line to BENCH_history.jsonl (disable with
+// -history ""): the same report plus the git commit, so the repository
+// accumulates an instr/sec trajectory across commits instead of only
+// the latest snapshot.
+//
+// With -check <snapshot>, the run compares its own suite-level
+// simulated_instr_per_sec against the snapshot's and exits non-zero on a
+// regression beyond -check-tolerance. The suite benchmark keeps the best
+// of -check-rounds runs: scheduling noise on shared runners only ever
+// slows a run down, so the fastest observation is the least contaminated
+// one.
 package main
 
 import (
@@ -18,11 +32,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	perspector "perspector"
+	"perspector/internal/buildinfo"
 	"perspector/internal/rng"
 	"perspector/internal/uarch"
 )
@@ -42,56 +59,93 @@ type result struct {
 
 type report struct {
 	GeneratedAt time.Time `json:"generated_at"`
+	GitSHA      string    `json:"git_sha,omitempty"`
 	GoVersion   string    `json:"go_version"`
 	GOOS        string    `json:"goos"`
 	GOARCH      string    `json:"goarch"`
 	Benchmarks  []result  `json:"benchmarks"`
 }
 
+// gitSHA resolves the current commit: the VCS stamp when the build
+// recorded one (go build), falling back to asking git (go run strips the
+// stamp). A repository-less run just yields "".
+func gitSHA() string {
+	if rev := buildinfo.Read().Revision; rev != "" {
+		return rev
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
 func main() {
 	testing.Init() // register test.* flags so benchtime can be set below
-	out := flag.String("out", "BENCH_simulator.json", "output path")
+	out := flag.String("out", "BENCH_simulator.json", "output path for the latest snapshot")
+	history := flag.String("history", "BENCH_history.jsonl", "append the run to this JSONL history (empty disables)")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
+	check := flag.String("check", "", "compare suite-level instr/sec against this committed snapshot and fail on regression")
+	checkTolerance := flag.Float64("check-tolerance", 0.10, "relative regression allowed by -check")
+	checkRounds := flag.Int("check-rounds", 3, "suite benchmark repetitions; the best round is kept")
 	flag.Parse()
 	// The driver reads the package-level benchtime; there is no public
 	// per-run knob, so set it the way `go test -benchtime` would.
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	rounds := 1
+	if *check != "" && *checkRounds > 1 {
+		rounds = *checkRounds
 	}
 
 	rep := report{
 		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		GitSHA:      gitSHA(),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 	}
 	for _, bench := range []struct {
 		name       string
-		instrPerOp func(r testing.BenchmarkResult) uint64
+		instrPerOp func() uint64
+		rounds     int
 		body       func(b *testing.B)
 	}{
-		{"SimulateSuite", simulateSuiteInstr, benchSimulateSuite},
-		{"MachineStep", func(r testing.BenchmarkResult) uint64 { return 1 }, benchMachineStep},
-		{"CacheAccess", nil, benchCacheAccess},
-		{"TLBTranslate", nil, benchTLBTranslate},
+		{"SimulateSuite", suiteInstr, rounds, benchSimulateSuite},
+		{"SimulateSuiteTotalsOnly", suiteInstr, 1, benchSimulateSuiteTotalsOnly},
+		{"SimulateWorkload", workloadInstr, 1, benchSimulateWorkload},
+		{"MachineStep", func() uint64 { return 1 }, 1, benchMachineStep},
+		{"CacheAccess", nil, 1, benchCacheAccess},
+		{"TLBTranslate", nil, 1, benchTLBTranslate},
 	} {
-		r := testing.Benchmark(bench.body)
-		if r.N == 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %s did not run (benchmark failed?)\n", bench.name)
-			os.Exit(1)
+		var r testing.BenchmarkResult
+		for round := 0; round < bench.rounds; round++ {
+			got := testing.Benchmark(bench.body)
+			if got.N == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %s did not run (benchmark failed?)\n", bench.name)
+				os.Exit(1)
+			}
+			if round == 0 || nsPerOp(got) < nsPerOp(r) {
+				r = got
+			}
 		}
 		res := result{
 			Name:       bench.name,
-			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			NsPerOp:    nsPerOp(r),
 			Iterations: r.N,
 		}
 		if bench.instrPerOp != nil {
-			res.SimulatedInstrPerOp = bench.instrPerOp(r)
+			res.SimulatedInstrPerOp = bench.instrPerOp()
 			res.SimulatedInstrPerSec = float64(res.SimulatedInstrPerOp) / (res.NsPerOp / 1e9)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
-		fmt.Printf("%-14s %12.1f ns/op", res.Name, res.NsPerOp)
+		fmt.Printf("%-24s %12.1f ns/op", res.Name, res.NsPerOp)
 		if res.SimulatedInstrPerSec > 0 {
 			fmt.Printf("  %.3g simulated instr/sec", res.SimulatedInstrPerSec)
 		}
@@ -100,20 +154,99 @@ func main() {
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	buf = append(buf, '\n')
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	if *history != "" {
+		if err := appendHistory(*history, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if *check != "" {
+		if err := checkRegression(*check, rep, *checkTolerance); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// appendHistory adds the run as one JSON line to the history file.
+func appendHistory(path string, rep report) error {
+	line, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// suiteLevel extracts the SimulateSuite throughput of a report.
+func suiteLevel(rep report) (float64, error) {
+	for _, r := range rep.Benchmarks {
+		if r.Name == "SimulateSuite" {
+			return r.SimulatedInstrPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("no SimulateSuite entry")
+}
+
+// checkRegression compares the run's suite-level throughput against the
+// committed snapshot at path.
+func checkRegression(path string, rep report, tolerance float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed report
+	if err := json.Unmarshal(buf, &committed); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	want, err := suiteLevel(committed)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	got, err := suiteLevel(rep)
+	if err != nil {
+		return err
+	}
+	floor := want * (1 - tolerance)
+	if got < floor {
+		return fmt.Errorf("suite-level regression: %.3g simulated instr/sec < %.3g (committed %.3g − %.0f%%)",
+			got, floor, want, 100*tolerance)
+	}
+	fmt.Printf("check: %.3g simulated instr/sec ≥ %.3g (committed %.3g − %.0f%%)\n",
+		got, floor, want, 100*tolerance)
+	return nil
 }
 
 // benchSimulateSuite mirrors BenchmarkSimulateSuite: the Nbench suite end
 // to end at the paper's full configuration.
 func benchSimulateSuite(b *testing.B) {
+	runSuite(b, perspector.DefaultConfig())
+}
+
+// benchSimulateSuiteTotalsOnly is the same suite through the
+// counters-only fast path: no sampled series, totals bit-identical.
+func benchSimulateSuiteTotalsOnly(b *testing.B) {
 	cfg := perspector.DefaultConfig()
+	cfg.TotalsOnly = true
+	runSuite(b, cfg)
+}
+
+func runSuite(b *testing.B, cfg perspector.Config) {
 	s, err := perspector.SuiteByName("nbench", cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -126,13 +259,34 @@ func benchSimulateSuite(b *testing.B) {
 	}
 }
 
-func simulateSuiteInstr(testing.BenchmarkResult) uint64 {
+// benchSimulateWorkload measures one workload — the first Nbench kernel —
+// so per-core throughput is separable from the sharded suite number.
+func benchSimulateWorkload(b *testing.B) {
+	cfg := perspector.DefaultConfig()
+	s, err := perspector.SuiteByName("nbench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Specs = s.Specs[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perspector.Measure(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func suiteInstr() uint64 {
 	cfg := perspector.DefaultConfig()
 	s, err := perspector.SuiteByName("nbench", cfg)
 	if err != nil {
 		return 0
 	}
 	return cfg.Instructions * uint64(len(s.Specs))
+}
+
+func workloadInstr() uint64 {
+	return perspector.DefaultConfig().Instructions
 }
 
 // strideProg mirrors the deterministic generator of the in-tree

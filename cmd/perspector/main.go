@@ -473,6 +473,11 @@ func runExport(args []string) error {
 	if *suite == "" {
 		return fmt.Errorf("export: -suite is required")
 	}
+	if *format == "csv" {
+		// The CSV format carries totals only, so the measurement can take
+		// the counters-only fast path; totals are bit-identical either way.
+		common.TotalsOnly = true
+	}
 	m, err := common.measureSuite(*suite)
 	if err != nil {
 		return err

@@ -42,6 +42,7 @@ type Flags struct {
 	Workers     int
 	CacheDir    string
 	NoCache     bool
+	TotalsOnly  bool
 	Timeout     time.Duration
 	Verbose     bool
 	TraceOut    string
@@ -59,6 +60,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.Workers, "workers", 0, "parallel workers (0 = all CPUs); results are identical at any count")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", "measurement cache directory (empty = no cache)")
 	fs.BoolVar(&f.NoCache, "no-cache", false, "disable the measurement cache even if -cache-dir is set")
+	fs.BoolVar(&f.TotalsOnly, "totals-only", false, "measure counter totals only, skipping the sampled series (faster; series-based scores like trend are then unavailable)")
 	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit)")
 	fs.BoolVar(&f.Verbose, "v", false, "verbose: worker count and cache statistics on stderr")
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace-event JSON of the run (view at ui.perfetto.dev)")
@@ -72,6 +74,7 @@ func (f *Flags) Config() suites.Config {
 	cfg.Instructions = f.Instr
 	cfg.Samples = f.Samples
 	cfg.Seed = f.Seed
+	cfg.TotalsOnly = f.TotalsOnly
 	return cfg
 }
 

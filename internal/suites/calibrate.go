@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"perspector/internal/perf"
+	"perspector/internal/uarch"
 )
 
 // Calibrate rescales each workload's instruction budget so that every
@@ -34,17 +35,21 @@ func Calibrate(s Suite, cfg Config, targetCycles, minInstr, maxInstr uint64) (Su
 	out := Suite{Name: s.Name, Description: s.Description}
 	out.Specs = append(out.Specs, s.Specs...)
 
-	// Probe with sampling disabled: only the cycle total matters. CPI is
-	// budget-dependent (cold-start faults dominate short runs), so the
-	// estimate is refined over a few rounds: each round re-probes at the
-	// previous round's budget, converging on the fixed point
-	// cycles(budget) ≈ targetCycles.
+	// Probe with sampling disabled and the series skipped entirely: only
+	// the cycle total matters. CPI is budget-dependent (cold-start faults
+	// dominate short runs), so the estimate is refined over a few rounds:
+	// each round re-probes at the previous round's budget, converging on
+	// the fixed point cycles(budget) ≈ targetCycles. The probes run
+	// serially, so one machine slot serves them all.
 	const rounds = 3
 	probeCfg := cfg
 	probeCfg.Samples = 1
+	probeCfg.TotalsOnly = true
+	var slot *uarch.Machine
+	defer func() { uarch.DefaultMachinePool.Put(slot) }()
 	for i := range out.Specs {
 		for r := 0; r < rounds; r++ {
-			meas, err := runOne(context.Background(), out.Specs[i], probeCfg)
+			meas, err := runOne(context.Background(), out.Specs[i], probeCfg, &slot)
 			if err != nil {
 				return Suite{}, fmt.Errorf("suites: Calibrate probe %q: %w", out.Specs[i].Name, err)
 			}

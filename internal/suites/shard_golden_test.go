@@ -1,0 +1,141 @@
+package suites
+
+// Golden bit-identity of the sharded suite simulation: fanning workloads
+// over the worker pool (with one machine held per worker, see RunContext)
+// must produce measurements — totals AND sampled series — bit-identical
+// to the serial path at every worker count, and the counters-only fast
+// path must reproduce the full run's totals exactly. These tests pin both
+// properties for all six stock suites; mismatches print float64 values in
+// hex so a single reassociated bit is visible.
+
+import (
+	"math"
+	"testing"
+
+	"perspector/internal/par"
+	"perspector/internal/perf"
+)
+
+// shardConfig is the reduced-budget configuration of the root
+// determinism tests: big enough that every counter carries signal, small
+// enough that measuring six suites at several worker counts stays
+// test-sized.
+func shardConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Instructions = 40_000
+	cfg.Samples = 50
+	return cfg
+}
+
+// measureAllAt measures every stock suite with n workers.
+func measureAllAt(t *testing.T, cfg Config, n int) []*perf.SuiteMeasurement {
+	t.Helper()
+	prev := par.SetWorkers(n)
+	defer par.SetWorkers(prev)
+	out := make([]*perf.SuiteMeasurement, 0, 6)
+	for _, s := range All(cfg) {
+		sm, err := Run(s, cfg)
+		if err != nil {
+			t.Fatalf("suite %s at %d workers: %v", s.Name, n, err)
+		}
+		out = append(out, sm)
+	}
+	return out
+}
+
+// requireIdenticalMeasurements compares two suite measurements
+// bit-for-bit: every counter total and every series sample.
+func requireIdenticalMeasurements(t *testing.T, label string, want, got *perf.SuiteMeasurement) {
+	t.Helper()
+	if len(want.Workloads) != len(got.Workloads) {
+		t.Fatalf("%s: suite %s: %d workloads vs %d",
+			label, want.Suite, len(want.Workloads), len(got.Workloads))
+	}
+	for i := range want.Workloads {
+		w, g := &want.Workloads[i], &got.Workloads[i]
+		for c := perf.Counter(0); c < perf.NumCounters; c++ {
+			if w.Totals.Get(c) != g.Totals.Get(c) {
+				t.Errorf("%s: suite %s workload %s counter %v: total %d != %d",
+					label, want.Suite, w.Workload, c, w.Totals.Get(c), g.Totals.Get(c))
+			}
+			ws, gs := w.Series.Samples[c], g.Series.Samples[c]
+			if len(ws) != len(gs) {
+				t.Errorf("%s: suite %s workload %s counter %v: %d samples vs %d",
+					label, want.Suite, w.Workload, c, len(ws), len(gs))
+				continue
+			}
+			for j := range ws {
+				if math.Float64bits(ws[j]) != math.Float64bits(gs[j]) {
+					t.Errorf("%s: suite %s workload %s counter %v sample %d: %x != %x",
+						label, want.Suite, w.Workload, c, j, ws[j], gs[j])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSerialGolden pins the sharded simulation to the
+// serial one: workers=1 is the golden reference, and 2, 3 and 8 workers
+// must reproduce every total and every sample of all six suites exactly.
+func TestShardedMatchesSerialGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures all six suites at four worker counts")
+	}
+	cfg := shardConfig()
+	serial := measureAllAt(t, cfg, 1)
+	for _, n := range []int{2, 3, 8} {
+		sharded := measureAllAt(t, cfg, n)
+		for i := range serial {
+			requireIdenticalMeasurements(t, "workers="+itoa(n), serial[i], sharded[i])
+		}
+	}
+}
+
+// TestCountersOnlyMatchesFullTotals pins the counters-only fast path:
+// with TotalsOnly set the measurement must carry no series — that is the
+// point — while every counter total stays bit-identical to the full
+// sampled run (the OS-noise model still ticks at the same interval
+// boundaries, so skipping the series bookkeeping must not move a single
+// count).
+func TestCountersOnlyMatchesFullTotals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures all six suites twice")
+	}
+	cfg := shardConfig()
+	full := measureAllAt(t, cfg, 1)
+	totalsCfg := cfg
+	totalsCfg.TotalsOnly = true
+	only := measureAllAt(t, totalsCfg, 4)
+	for i := range full {
+		w, o := full[i], only[i]
+		if len(w.Workloads) != len(o.Workloads) {
+			t.Fatalf("suite %s: %d workloads vs %d", w.Suite, len(w.Workloads), len(o.Workloads))
+		}
+		for j := range w.Workloads {
+			fw, ow := &w.Workloads[j], &o.Workloads[j]
+			if ow.Series.Len() != 0 {
+				t.Errorf("suite %s workload %s: counters-only run carries %d samples",
+					w.Suite, fw.Workload, ow.Series.Len())
+			}
+			if fw.Totals != ow.Totals {
+				t.Errorf("suite %s workload %s: counters-only totals diverge:\n  full %v\n  only %v",
+					w.Suite, fw.Workload, fw.Totals, ow.Totals)
+			}
+		}
+	}
+}
+
+// itoa avoids strconv for one call site.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

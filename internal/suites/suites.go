@@ -37,6 +37,13 @@ type Config struct {
 	// Machine configures the simulated core; SampleInterval is overridden
 	// per workload from Samples.
 	Machine uarch.MachineConfig
+	// TotalsOnly skips the per-workload sampled series: scoring paths
+	// that only read Totals (spread, compare, totals-only CSV) set it to
+	// drop the series bookkeeping the measurement would discard. The
+	// sample interval still ticks — the OS-noise model charges totals at
+	// interval boundaries — so Totals stay bit-identical to a full run
+	// with the same Samples count.
+	TotalsOnly bool
 }
 
 // DefaultConfig returns the configuration used for the paper reproduction.
@@ -146,11 +153,16 @@ func RunContext(ctx context.Context, s Suite, cfg Config) (*perf.SuiteMeasuremen
 	// re-applies context labels per worker goroutine), so CPU-profile
 	// samples of simulator work attribute to the suite being measured.
 	ctx = pprof.WithLabels(ctx, pprof.Labels("suite", s.Name))
+	// One machine per worker, held across every workload that worker
+	// shards: Reconfigure resets it between items exactly as a pool Get
+	// would, so results are bit-identical to per-workload Get/Put while
+	// the pool lock is taken once per worker instead of once per workload.
+	machines := make([]*uarch.Machine, par.Workers())
 	err := par.DoErrCtx(ctx, len(s.Specs), func(ctx context.Context, worker, i int) error {
 		wctx, span := obs.Start(ctx, "workload",
 			obs.String("suite", s.Name), obs.String("workload", s.Specs[i].Name))
 		span.SetWorker(worker)
-		meas, err := runOne(wctx, s.Specs[i], cfg)
+		meas, err := runOne(wctx, s.Specs[i], cfg, &machines[worker])
 		span.End()
 		if err != nil {
 			return stage.Wrap(stage.Measure, s.Name, s.Specs[i].Name, err)
@@ -158,6 +170,9 @@ func RunContext(ctx context.Context, s Suite, cfg Config) (*perf.SuiteMeasuremen
 		sm.Workloads[i] = *meas
 		return nil
 	})
+	for _, m := range machines {
+		uarch.DefaultMachinePool.Put(m)
+	}
 	if err != nil {
 		// Covers the path where ctx fired before any workload failed:
 		// DoErr returns the bare ctx.Err(), which still deserves a tag.
@@ -166,7 +181,14 @@ func RunContext(ctx context.Context, s Suite, cfg Config) (*perf.SuiteMeasuremen
 	return sm, nil
 }
 
-func runOne(ctx context.Context, spec workload.Spec, cfg Config) (*perf.Measurement, error) {
+// runOne measures one workload on the worker's machine. slot holds the
+// machine the calling worker keeps across workloads: reconfigured in
+// place when the structural geometry matches, replaced through the shared
+// pool otherwise (a reused machine is Reset either way, so it is
+// indistinguishable from a fresh one, and the 12288-set L3 allocation is
+// paid once per worker instead of once per workload). The caller returns
+// slot machines to the pool after the fan-out.
+func runOne(ctx context.Context, spec workload.Spec, cfg Config, slot **uarch.Machine) (*perf.Measurement, error) {
 	prog, err := workload.Compile(spec)
 	if err != nil {
 		return nil, err
@@ -176,13 +198,15 @@ func runOne(ctx context.Context, spec workload.Spec, cfg Config) (*perf.Measurem
 	if mc.SampleInterval == 0 {
 		mc.SampleInterval = 1
 	}
-	// Machines come from the shared pool: a reused machine is Reset on
-	// Get, so it is indistinguishable from a fresh one, and the 12288-set
-	// L3 allocation is paid once per configuration instead of once per
-	// workload.
-	m, err := uarch.DefaultMachinePool.Get(mc)
-	if err != nil {
-		return nil, err
+	mc.CountersOnly = cfg.TotalsOnly
+	m := *slot
+	if m == nil || !m.Reconfigure(mc) {
+		uarch.DefaultMachinePool.Put(m) // structural mismatch; Put(nil) is a no-op
+		if m, err = uarch.DefaultMachinePool.Get(mc); err != nil {
+			*slot = nil
+			return nil, err
+		}
+		*slot = m
 	}
 	// pprof.Do scopes the workload/stage labels to exactly the simulator
 	// run, so /debug/pprof/profile samples attribute to pipeline work.
@@ -190,7 +214,6 @@ func runOne(ctx context.Context, spec workload.Spec, cfg Config) (*perf.Measurem
 	pprof.Do(ctx, pprof.Labels("workload", spec.Name, "stage", "measure"), func(ctx context.Context) {
 		meas, err = m.RunContext(ctx, prog, spec.Instructions)
 	})
-	uarch.DefaultMachinePool.Put(m)
 	return meas, err
 }
 

@@ -12,38 +12,44 @@ import (
 	"math/bits"
 )
 
-// maxCacheWays bounds associativity: the per-set record packs the recency
-// order as 4-bit way indices into one 64-bit word, so at most 16 ways fit.
-// Every modelled structure (Table-II caches, Skylake dTLB) is ≤ 16-way.
+// maxCacheWays bounds associativity: the per-set recency order packs
+// 4-bit way indices into one 64-bit word, so at most 16 ways fit. Every
+// modelled structure (Table-II caches, Skylake dTLB) is ≤ 16-way.
 const maxCacheWays = 16
 
-// Set storage is one flat []uint64 with a ways+2-word record per set:
-//
-//	word 0        packed LRU recency order (4-bit way indices,
-//	              nibble 0 = MRU, nibble ways−1 = LRU)
-//	word 1        per-way valid bits
-//	words 2..     one full line-number tag per way
-//
-// Fusing the three into one contiguous record keeps a lookup inside a
-// couple of host cache lines instead of touching three separate slices,
-// and sizing the record by the actual associativity (rather than a
-// fixed maxCacheWays array) halves the footprint of 8-way levels — the
-// difference between a simulated L2's tag state thrashing the host L1
-// and living in it.
-const setHeaderWords = 2
+// waysStride is the tag-row stride in words: rows are padded to the full
+// nibble range so a 4-bit way index provably stays in bounds (see
+// NewCache). The padding is at most 8 words per set.
+const waysStride = maxCacheWays
 
-// Cache is a set-associative cache with true-LRU replacement. Only tag
-// state is modelled — Perspector needs hit/miss behaviour, not data.
-// Set selection is line-number modulo set-count, which admits
-// non-power-of-two set counts (e.g. the 12 MiB L3 of Table II has 12288
-// sets); the modulo itself is computed division-free (see setIndex).
+// Cache state is structure-of-arrays, one array per field across sets:
+//
+//	order[set]          packed LRU recency order (4-bit way indices,
+//	                    nibble 0 = MRU, nibble ways−1 = LRU)
+//	occ[set]            fill level (ways fill in index order and are never
+//	                    invalidated individually, so validity is always a
+//	                    dense prefix and one byte carries it)
+//	tags[set*16+w]      full line-number tag of way w (rows padded to the
+//	                    4-bit nibble range; see waysStride)
+//
+// The split replaces the former ways+2-word per-set record. Two effects
+// pay for it: the hit probe is a linear scan over a contiguous ≤128-byte
+// tag row (independent loads the CPU can overlap and unroll, where the
+// packed-record walk chained each probe behind a nibble shift of the
+// order word), and the per-set metadata the loop actually touches every
+// access — order word and fill byte — packs 64 sets per host cache line
+// in the occ array instead of being strewn through 144-byte records, so
+// scattered L3 traffic stops thrashing the host L1 with tag rows it
+// never reads.
 type Cache struct {
 	name     string
 	lineBits uint
 	ways     int
 	numSets  uint64
-	stride   uint64 // ways + setHeaderWords, words per set record
-	data     []uint64
+
+	order []uint64 // packed LRU order per set
+	occ   []uint8  // dense-prefix fill level per set
+	tags  []uint64 // tags[set*ways + way]
 
 	// Division-free set selection: numSets = odd << setShift, so
 	// line % numSets = ((line>>setShift) % odd) << setShift | line&lowMask.
@@ -56,15 +62,17 @@ type Cache struct {
 	initOrder uint64
 	orderMask uint64 // low 4*ways bits of the order word
 
-	// Repeat memo: the most recently accessed line. After any access —
-	// hit or miss — that line is resident and MRU in its set, so an
-	// immediately repeated access is a hit whose LRU promote is a no-op;
-	// only the access counter needs to move. Page-level structures (the
-	// TLB reuses Cache with 1-byte lines) repeat for every consecutive
-	// access inside a page, making this the common case for local
-	// workloads. haveLast guards the first access (0 is a valid line).
-	lastLine uint64
-	haveLast bool
+	// Repeat memo: the most recently accessed line, stored as line+1 so
+	// the zero value means "none" without a separate guard bool (keeps
+	// Access within the inlining budget; a line of ^uint64(0) merely
+	// never memo-hits and resolves through the ordinary probe). After
+	// any access — hit or miss — that line is resident and MRU in its
+	// set, so an immediately repeated access is a hit whose LRU promote
+	// is a no-op; only the access counter needs to move. Page-level
+	// structures (the TLB reuses Cache with 1-byte lines) repeat for
+	// every consecutive access inside a page, making this the common
+	// case for local workloads.
+	lastLineP1 uint64
 
 	accesses uint64
 	misses   uint64
@@ -113,9 +121,17 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 		lineBits: lineBits,
 		ways:     cfg.Ways,
 		numSets:  sets,
-		stride:   uint64(cfg.Ways) + setHeaderWords,
 	}
-	c.data = make([]uint64, sets*c.stride)
+	// order and tags share one backing allocation; occ is its own byte
+	// array (64 sets per host line — the densest metadata in the loop).
+	// Tag rows are padded to waysStride regardless of associativity: the
+	// probe indexes a row with a 4-bit nibble of the order word, and a
+	// constant full-nibble row bound is what lets the compiler drop the
+	// bounds check from every probe (and the row offset become a shift).
+	backing := make([]uint64, sets+sets*waysStride)
+	c.order = backing[:sets:sets]
+	c.tags = backing[sets:]
+	c.occ = make([]uint8, sets)
 	// Shift counts ≥ 64 yield 0 in Go, so 16 ways mask to the full word.
 	c.orderMask = uint64(1)<<(4*uint(cfg.Ways)) - 1
 	c.setShift = uint(bits.TrailingZeros64(sets))
@@ -158,58 +174,66 @@ func (c *Cache) setIndex(line uint64) uint64 {
 }
 
 // Access looks up addr, updating LRU state, and on a miss installs the
-// line. It returns true on a hit.
-//
-// Ways fill in index order and are never invalidated individually, so the
-// valid mask is always a dense prefix: its popcount doubles as the fill
-// level, the hit scan needs no per-way valid test, and a not-full install
-// always lands in way occ — which sits at recency position occ, because
-// unfilled ways keep their initial relative order behind every filled
-// way. A full-set miss evicts the LRU way, which is a pure rotate of the
-// order word. Misses therefore never scan for a recency position.
+// line. It returns true on a hit. The body is only the repeat-line memo —
+// small enough to inline at every call site, so local workloads resolve
+// most lookups without a function call — and accessSlow carries the
+// actual probe.
 func (c *Cache) Access(addr uint64) bool {
-	c.accesses++
-	line := addr >> c.lineBits
-	if line == c.lastLine && c.haveLast {
+	if addr>>c.lineBits+1 == c.lastLineP1 {
+		c.accesses++
 		return true
 	}
-	c.lastLine = line
-	c.haveLast = true
-	s := c.data[c.setIndex(line)*c.stride:]
-	occ := uint(bits.TrailingZeros64(^s[1]))
-	// Probe in recency order by walking the packed order word: temporal
-	// locality lands most hits on the first (MRU) probe, and the walk
-	// position doubles as the promote position, so hits never re-scan.
-	// Filled ways occupy the first occ positions (unfilled ways keep
-	// their initial relative order behind every filled way). (A linear
-	// tag scan with a branchless order-word position find measured slower
-	// here: it gives up the MRU-first early exit.)
-	o := s[0]
-	for pos := uint(0); pos < occ; pos++ {
-		w := o & 0xF
-		if s[setHeaderWords+w] == line {
-			splice(&s[0], w, pos)
+	return c.accessSlow(addr >> c.lineBits)
+}
+
+// accessSlow is the non-memo path: probe the set, promote on hit, install
+// (evicting LRU when full) on miss.
+//
+// Ways fill in index order and are never invalidated individually, so the
+// fill level occ describes validity completely, and unfilled ways keep
+// their initial relative order behind every filled way — the first occ
+// nibbles of the order word are exactly the filled ways, most recent
+// first. The hit scan walks those nibbles, so temporally local workloads
+// hit within the first probe or two and a hit already knows its recency
+// position (no separate search before the promote). Unlike the old
+// packed-record walk, the probes carry no serial dependency: position
+// p's way index is an independent shift of the same order word, so the
+// CPU can overlap the tag loads. A not-full install always lands in way
+// occ, at recency position occ; a full-set miss evicts the LRU way, a
+// pure rotate of the order word. (A fill-order scan over the contiguous
+// tag row — with a branch-free SWAR recency lookup on hit — measured
+// faster on miss-heavy microbenchmarks but ~20% slower at suite level,
+// where near-MRU hits dominate; see EXPERIMENTS.md.)
+func (c *Cache) accessSlow(line uint64) bool {
+	c.accesses++
+	c.lastLineP1 = line + 1
+	set := c.setIndex(line)
+	base := set * waysStride
+	tags := c.tags[base : base+waysStride : base+waysStride]
+	o := c.order[set]
+	occ := uint(c.occ[set])
+	for p := uint(0); p < occ; p++ {
+		w := o >> (4 * p) & 0xF
+		if tags[w] == line {
+			splice(&c.order[set], w, p)
 			return true
 		}
-		o >>= 4
 	}
 	c.misses++
-	var victim uint64
 	if occ < uint(c.ways) {
-		victim = uint64(occ)
-		s[1] |= 1 << occ
-		splice(&s[0], victim, occ)
+		c.occ[set] = uint8(occ + 1)
+		tags[occ&0xF] = line
+		splice(&c.order[set], uint64(occ), occ)
 	} else {
-		victim = s[0] >> (4 * uint(c.ways-1)) & 0xF
-		s[0] = (s[0]<<4 | victim) & c.orderMask
+		victim := o >> (4 * uint(c.ways-1)) & 0xF
+		c.order[set] = (o<<4 | victim) & c.orderMask
+		tags[victim] = line
 	}
-	s[setHeaderWords+victim] = line
 	return false
 }
 
 // splice moves the way at nibble position pos of the order word to MRU,
-// shifting everything more recent up by one nibble — the constant-word
-// equivalent of the old byte-per-way rank increment loop.
+// shifting everything more recent up by one nibble.
 func splice(order *uint64, way uint64, pos uint) {
 	if pos == 0 {
 		return
@@ -225,13 +249,13 @@ func splice(order *uint64, way uint64, pos uint) {
 func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
 
 // Reset invalidates all lines and zeroes statistics. Tags need no
-// clearing: the valid word gates every probe, and installs overwrite.
+// clearing: the fill level gates every probe, and installs overwrite.
 func (c *Cache) Reset() {
-	for base := uint64(0); base < uint64(len(c.data)); base += c.stride {
-		c.data[base] = c.initOrder
-		c.data[base+1] = 0
+	for i := range c.order {
+		c.order[i] = c.initOrder
 	}
-	c.haveLast = false
+	clear(c.occ)
+	c.lastLineP1 = 0
 	c.accesses, c.misses = 0, 0
 }
 

@@ -80,6 +80,14 @@ type MachineConfig struct {
 	// SampleInterval is the instruction distance between PMU samples;
 	// 0 disables sampling.
 	SampleInterval uint64
+	// CountersOnly skips the sampled time series entirely: no per-counter
+	// sample slices are allocated and no per-interval delta snapshots are
+	// taken. The interval countdown itself still runs — the OS-noise model
+	// charges the PMU at sample boundaries, so identical boundaries are
+	// what keep totals bit-identical to a full sampled run. Callers that
+	// never read Series (totals-only CSV, spread/compare scoring) set this
+	// to drop the bookkeeping the measurement would throw away.
+	CountersOnly bool
 	// OSNoiseFrac models background kernel activity (timer interrupts,
 	// scheduler ticks, RCU callbacks) as a fraction of each sample
 	// interval's instructions executed in the kernel with a typical
@@ -295,7 +303,8 @@ func (m *Machine) RunContext(ctx context.Context, prog Program, maxInstr uint64)
 	ts := &meas.Series
 	interval := m.cfg.SampleInterval
 	ts.Interval = interval
-	if interval > 0 {
+	countersOnly := m.cfg.CountersOnly
+	if interval > 0 && !countersOnly {
 		expected := maxInstr / interval
 		if expected > maxSamplePrealloc {
 			expected = maxSamplePrealloc
@@ -343,11 +352,17 @@ func (m *Machine) RunContext(ctx context.Context, prog Program, maxInstr uint64)
 		if interval > 0 {
 			toSample -= uint64(got) // got ≤ n ≤ toSample: no underflow
 			if toSample == 0 {
+				// The noise charge stays on the boundary even in
+				// counters-only mode: its fractional accumulation is a
+				// per-interval floating-point sequence, so only identical
+				// boundaries reproduce the full run's totals bit-for-bit.
 				m.chargeOSNoise(pmu)
-				delta := pmu.Sub(prev)
-				prev = *pmu
-				for c := perf.Counter(0); c < perf.NumCounters; c++ {
-					ts.Samples[c] = append(ts.Samples[c], float64(delta.Get(c)))
+				if !countersOnly {
+					delta := pmu.Sub(prev)
+					prev = *pmu
+					for c := perf.Counter(0); c < perf.NumCounters; c++ {
+						ts.Samples[c] = append(ts.Samples[c], float64(delta.Get(c)))
+					}
 				}
 				toSample = interval
 			}
@@ -411,7 +426,10 @@ func (m *Machine) stepBlock(buf []Instr, pmu *perf.Values) uint64 {
 
 		case Load, Store:
 			isLoad := in.Kind == Load
-			// dTLB lookup.
+			// dTLB lookup. Translate and Access inline as their repeat
+			// memos (same page / line as the previous lookup), so the
+			// common local-access case resolves without a call; block-level
+			// memo duplication on top of that measured as a pure loss.
 			if isLoad {
 				dtlbLoads++
 			} else {
@@ -428,8 +446,7 @@ func (m *Machine) stepBlock(buf []Instr, pmu *perf.Values) uint64 {
 					walkPending += walkC
 					cycles += walkC
 					// First touch of a page raises a minor fault.
-					page := in.Addr >> pageBits
-					if !m.touched.testAndSet(page) {
+					if !m.touched.testAndSet(in.Addr >> pageBits) {
 						pageFaults++
 						cycles += minorFault
 					}
@@ -438,7 +455,7 @@ func (m *Machine) stepBlock(buf []Instr, pmu *perf.Values) uint64 {
 				}
 			}
 
-			// Cache hierarchy.
+			// Cache hierarchy. L1 hits overlap with the pipeline.
 			var memStall uint64
 			switch {
 			case l1.Access(in.Addr):

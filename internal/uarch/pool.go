@@ -40,6 +40,22 @@ type MachinePool struct {
 // DefaultMachinePool is the process-wide pool used by suite measurement.
 var DefaultMachinePool MachinePool
 
+// Reconfigure rewrites the machine's non-structural configuration
+// (latencies, sampling, prefetch) and resets it to power-on state —
+// exactly what Get does to a pooled machine — and reports whether it
+// could: a cfg with different structural geometry (cache/TLB sizing,
+// predictor tables) needs a different machine and leaves this one
+// untouched. Suite workers use it to keep one machine across the
+// workloads they shard, bypassing the pool lock between items.
+func (m *Machine) Reconfigure(cfg MachineConfig) bool {
+	if keyOf(cfg) != keyOf(m.cfg) {
+		return false
+	}
+	m.cfg = cfg
+	m.Reset()
+	return true
+}
+
 // Get returns a machine configured as cfg: a pooled one reset and
 // rewritten with cfg's non-structural fields when available, a freshly
 // built one otherwise.

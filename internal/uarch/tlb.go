@@ -9,6 +9,12 @@ import "fmt"
 type TLB struct {
 	l1, l2   *Cache
 	pageBits uint
+	// lastPageP1 is the most recently translated page + 1 (0 = none): the
+	// TLB-level repeat memo. After any translation the page is resident
+	// and MRU in the first level, so a repeat is a guaranteed hit with a
+	// no-op promote. Keeping the memo on the TLB itself (rather than
+	// reaching through l1) holds Translate inside the inlining budget.
+	lastPageP1 uint64
 	// Lifetime statistics.
 	accesses uint64
 	l1Misses uint64
@@ -67,11 +73,29 @@ type TLBResult struct {
 	Walked bool
 }
 
-// Translate looks up the page of addr, filling both levels on miss.
+// Translate looks up the page of addr, filling both levels on miss. The
+// body is only the first level's repeat-page memo — consecutive accesses
+// inside one page are the common case, and keeping just that test here
+// lets Translate inline at every call site — with translateSlow carrying
+// the two-level probe.
 func (t *TLB) Translate(addr uint64) TLBResult {
+	if addr>>t.pageBits+1 == t.lastPageP1 {
+		t.accesses++
+		return TLBResult{}
+	}
+	return t.translateSlow(addr >> t.pageBits)
+}
+
+// translateSlow probes both TLB levels for page (already known to miss
+// the repeat memo), filling them on miss. The first level's own memo is
+// skipped — it tracks the same page as lastPageP1 — so the probe goes
+// straight to accessSlow. The inner caches' access counters are purely
+// internal (TLB.Stats reports the TLB's own counters), so the memo path
+// not incrementing them is unobservable.
+func (t *TLB) translateSlow(page uint64) TLBResult {
 	t.accesses++
-	page := addr >> t.pageBits
-	if t.l1.Access(page) {
+	t.lastPageP1 = page + 1
+	if t.l1.accessSlow(page) {
 		return TLBResult{}
 	}
 	t.l1Misses++
@@ -91,5 +115,6 @@ func (t *TLB) Stats() (accesses, l1Misses, walks uint64) {
 func (t *TLB) Reset() {
 	t.l1.Reset()
 	t.l2.Reset()
+	t.lastPageP1 = 0
 	t.accesses, t.l1Misses, t.walks = 0, 0, 0
 }
