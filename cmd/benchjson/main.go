@@ -12,7 +12,8 @@
 // BenchmarkTLBTranslate / BenchmarkMachineStep microbenchmarks
 // (component level), so a regression can be localized to the layer that
 // caused it; SimulateSuiteTotalsOnly measures the counters-only fast
-// path against the full sampled run.
+// path against the full sampled run, and StreamIngest measures the
+// streaming instruction-log reader (parsed records per second).
 //
 // Each run also appends one line to BENCH_history.jsonl (disable with
 // -history ""): the same report plus the git commit, so the repository
@@ -31,9 +32,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -41,6 +44,7 @@ import (
 	perspector "perspector"
 	"perspector/internal/buildinfo"
 	"perspector/internal/rng"
+	"perspector/internal/trace"
 	"perspector/internal/uarch"
 )
 
@@ -120,6 +124,7 @@ func main() {
 		{"SimulateSuite", suiteInstr, rounds, benchSimulateSuite},
 		{"SimulateSuiteTotalsOnly", suiteInstr, 1, benchSimulateSuiteTotalsOnly},
 		{"SimulateWorkload", workloadInstr, 1, benchSimulateWorkload},
+		{"StreamIngest", streamInstr, 1, benchStreamIngest},
 		{"MachineStep", func() uint64 { return 1 }, 1, benchMachineStep},
 		{"CacheAccess", nil, 1, benchCacheAccess},
 		{"TLBTranslate", nil, 1, benchTLBTranslate},
@@ -274,6 +279,79 @@ func benchSimulateWorkload(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// streamBlock renders ~1 MiB of instruction-log text cycling through
+// all five record kinds, and reports how many records it holds. The
+// block is what one StreamIngest op parses.
+func streamBlock() ([]byte, int) {
+	var buf []byte
+	records := 0
+	for i := uint64(0); len(buf) < 1<<20; i++ {
+		buf = append(buf, 'A', '\n')
+		buf = append(buf, 'L', ',')
+		buf = strconv.AppendUint(buf, i*64%(1<<22), 10)
+		buf = append(buf, '\n', 'S', ',')
+		buf = strconv.AppendUint(buf, i*128%(1<<24), 10)
+		buf = append(buf, '\n', 'B', ',')
+		buf = strconv.AppendUint(buf, 0x400000+i%64*4, 10)
+		buf = append(buf, ',', '0'+byte(i&1), '\n')
+		buf = append(buf, 'Y', ',', '0', '\n')
+		records += 5
+	}
+	return buf, records
+}
+
+// repeatReader serves block reps times — a multi-GB log without the
+// multi-GB buffer, mirroring the bounded-memory test in internal/trace.
+type repeatReader struct {
+	block []byte
+	off   int
+	reps  int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.reps == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.block[r.off:])
+	r.off += n
+	if r.off == len(r.block) {
+		r.off = 0
+		r.reps--
+	}
+	return n, nil
+}
+
+// benchStreamIngest measures the streaming trace reader: one op parses
+// one streamBlock through ProgramReader.NextBatch. The instr/sec figure
+// is parsed log records per second — the ingest ceiling for replaying
+// instruction logs through the simulator.
+func benchStreamIngest(b *testing.B) {
+	block, perBlock := streamBlock()
+	pr := trace.NewProgramReader(&repeatReader{block: block, reps: b.N}, "bench")
+	batch := make([]uarch.Instr, 4096)
+	b.SetBytes(int64(len(block)))
+	b.ResetTimer()
+	total := 0
+	for {
+		n := pr.NextBatch(batch)
+		total += n
+		if n < len(batch) {
+			break
+		}
+	}
+	if err := pr.Err(); err != nil {
+		b.Fatal(err)
+	}
+	if total != perBlock*b.N {
+		b.Fatalf("parsed %d records, want %d", total, perBlock*b.N)
+	}
+}
+
+func streamInstr() uint64 {
+	_, perBlock := streamBlock()
+	return uint64(perBlock)
 }
 
 func suiteInstr() uint64 {

@@ -5,15 +5,19 @@
 // Subcommands:
 //
 //	perspector list
-//	    List the stock suites, their workloads, and the PMU counters.
+//	    List the registered suites, their workloads, and the PMU counters.
 //
 //	perspector score -suite parsec [-group all|llc|tlb] [-instr N] [-samples N] [-seed N] [-json]
 //	    Measure one suite and print its four Perspector scores. -json
 //	    emits the same ScoreSet document the perspectord service serves.
 //
-//	perspector compare [-suites parsec,spec17,...] [-group ...] [-json]
+//	perspector compare [-suites parsec,spec17,...] [-suite-files a.json,b.json] [-group ...] [-json]
 //	    Measure several suites and score them under joint normalization
-//	    (the paper's Fig. 3 methodology). Default: all six.
+//	    (the paper's Fig. 3 methodology). Default: all six stock suites.
+//
+//	perspector validate spec.json [more.json ...]
+//	    Check declarative suite-spec files: decode, build, and compile
+//	    every workload without simulating.
 //
 //	perspector subset -suite spec17 -size 8 [-subsetseed N]
 //	    Generate a representative subset via Latin Hypercube Sampling
@@ -39,6 +43,10 @@
 //	perspector score-file -f trace.json [-format json|csv] [-name imported]
 //	    Archive measurements and score external (e.g. perf-derived) data.
 //
+// Every command that takes -suite also accepts -suite-file <spec.json>
+// to operate on a user-authored declarative suite instead of a
+// registered one; see the "Custom suites" section of the README.
+//
 // Every measuring subcommand takes -timeout (context deadline) and obeys
 // Ctrl-C: the run context is cancelled, the simulator loops stop within
 // one sample batch, and the command exits non-zero with an error naming
@@ -59,6 +67,7 @@ import (
 	"perspector/internal/perf"
 	"perspector/internal/source"
 	"perspector/internal/store"
+	"perspector/internal/workload"
 )
 
 // stdout is the destination for command output; tests swap it for a
@@ -95,6 +104,8 @@ func main() {
 		err = runScoreFile(args)
 	case "redundancy":
 		err = runRedundancy(args)
+	case "validate":
+		err = runValidate(args)
 	case "version", "-version", "--version":
 		buildinfo.Print(stdout, "perspector")
 	case "-h", "--help", "help":
@@ -111,10 +122,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: perspector <command> [flags]
+	fmt.Fprintf(os.Stderr, `usage: perspector <command> [flags]
 
 commands:
-  list      list stock suites, workloads and PMU counters
+  list      list registered suites, workloads and PMU counters
   score     score one suite
   compare   score several suites under joint normalization
   subset    generate a representative workload subset (LHS)
@@ -125,9 +136,14 @@ commands:
   export    measure a suite and write a portable JSON trace
   score-file score measurements from a JSON trace or totals CSV
   redundancy report strongly correlated (droppable) PMU counters
+  validate  check declarative suite-spec files without simulating
   version   print the build version and Go runtime
 
-run "perspector <command> -h" for command flags`)
+registered suites: %s
+commands taking -suite also accept -suite-file <spec.json>
+
+run "perspector <command> -h" for command flags
+`, strings.Join(perspector.SuiteNames(), ", "))
 }
 
 // commonFlags is the shared driver flag block plus the counter group,
@@ -143,16 +159,60 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	return c
 }
 
-// measureSuite runs one named suite through a fresh driver (worker
-// bound, cache, -timeout/SIGINT context) — for the subcommands that
-// measure once and then post-process without further simulation.
-func (c *commonFlags) measureSuite(name string) (*perspector.Measurement, error) {
+// suiteSel is the shared suite selector: -suite resolves a name against
+// the registry, -suite-file loads a declarative spec JSON file. Exactly
+// one must be given (unless the command has a default suite).
+type suiteSel struct {
+	name string
+	file string
+	def  string
+}
+
+func addSuiteSel(fs *flag.FlagSet, def string) *suiteSel {
+	s := &suiteSel{def: def}
+	fs.StringVar(&s.name, "suite", def, "registered suite: "+strings.Join(perspector.SuiteNames(), ", "))
+	fs.StringVar(&s.file, "suite-file", "", "declarative suite-spec JSON file (instead of -suite)")
+	return s
+}
+
+// given reports whether either selector flag was set.
+func (s *suiteSel) given() bool { return s.name != "" || s.file != "" }
+
+// label names the selection for output: the suite name, or the file path
+// for spec files.
+func (s *suiteSel) label() string {
+	if s.file != "" {
+		return s.file
+	}
+	return s.name
+}
+
+// resolve builds the selected suite under cfg. A -suite-file overrides
+// the command's default suite name but conflicts with an explicit
+// -suite.
+func (s *suiteSel) resolve(cfg perspector.Config) (perspector.Suite, error) {
+	name := s.name
+	if s.file != "" && name == s.def {
+		name = ""
+	}
+	return cli.ResolveSuite(name, s.file, cfg)
+}
+
+// measureSel resolves the selected suite and runs it through a fresh
+// driver (worker bound, cache, -timeout/SIGINT context) — for the
+// subcommands that measure once and then post-process without further
+// simulation.
+func (c *commonFlags) measureSel(sel *suiteSel) (*perspector.Measurement, error) {
+	s, err := sel.resolve(c.Config())
+	if err != nil {
+		return nil, err
+	}
 	d, err := c.NewDriver()
 	if err != nil {
 		return nil, err
 	}
 	defer d.Close()
-	return d.MeasureNamed(name)
+	return d.Measure(s)
 }
 
 // scoreSet builds the machine-readable ScoreSet document — the same
@@ -194,7 +254,7 @@ func runList(args []string) error {
 	}
 	cfg := common.Config()
 	fmt.Fprintln(stdout, "suites:")
-	for _, s := range perspector.StockSuites(cfg) {
+	for _, s := range perspector.RegisteredSuites(cfg) {
 		fmt.Fprintf(stdout, "  %-10s %2d workloads  %s\n", s.Name, len(s.Specs), s.Description)
 		if common.Verbose {
 			for _, w := range s.Specs {
@@ -213,14 +273,14 @@ func runList(args []string) error {
 func runScore(args []string) error {
 	fs := flag.NewFlagSet("score", flag.ExitOnError)
 	common := addCommon(fs)
-	suite := fs.String("suite", "", "suite to score (required)")
+	sel := addSuiteSel(fs, "")
 	repeat := fs.Int("repeat", 1, "measure with N different seeds and report mean ± sd")
 	jsonOut := fs.Bool("json", false, "emit the ScoreSet JSON document perspectord serves instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *suite == "" {
-		return fmt.Errorf("score: -suite is required")
+	if !sel.given() {
+		return fmt.Errorf("score: -suite or -suite-file is required")
 	}
 	if *repeat < 1 {
 		return fmt.Errorf("score: -repeat must be >= 1")
@@ -238,7 +298,11 @@ func runScore(args []string) error {
 	}
 	defer d.Close()
 	if *repeat == 1 {
-		m, err := d.MeasureNamed(*suite)
+		s, err := sel.resolve(common.Config())
+		if err != nil {
+			return err
+		}
+		m, err := d.Measure(s)
 		if err != nil {
 			return err
 		}
@@ -255,8 +319,10 @@ func runScore(args []string) error {
 		return nil
 	}
 	// The repeats are independent simulations under different seeds,
-	// fanned out with seed order kept in the results.
-	runs, err := d.MeasureSeeds(*suite, *repeat)
+	// fanned out with seed order kept in the results. The suite is rebuilt
+	// per seed — construction depends on cfg.Seed — which a spec file
+	// supports exactly like a registered name.
+	runs, err := d.MeasureSeedsFrom(sel.resolve, *repeat)
 	if err != nil {
 		return err
 	}
@@ -276,7 +342,8 @@ func runCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	common := addCommon(fs)
 	list := fs.String("suites", "parsec,spec17,ligra,lmbench,nbench,sgxgauge",
-		"comma-separated suites to compare")
+		"comma-separated registered suites to compare")
+	files := fs.String("suite-files", "", "comma-separated suite-spec JSON files to add to the comparison")
 	rank := fs.Bool("rank", false, "print per-metric and overall rankings")
 	jsonOut := fs.Bool("json", false, "emit the ScoreSet JSON document perspectord serves instead of the table")
 	if err := fs.Parse(args); err != nil {
@@ -285,13 +352,29 @@ func runCompare(args []string) error {
 	if *jsonOut && *rank {
 		return fmt.Errorf("compare: -json and -rank are mutually exclusive")
 	}
-	var names []string
+	cfg := common.Config()
+	var ss []perspector.Suite
 	for _, name := range strings.Split(*list, ",") {
 		if name = strings.TrimSpace(name); name != "" {
-			names = append(names, name)
+			s, err := perspector.SuiteByName(name, cfg)
+			if err != nil {
+				return err
+			}
+			ss = append(ss, s)
 		}
 	}
-	if len(names) == 0 {
+	// Spec-file suites join the comparison after the registered ones and
+	// score under the same joint normalization.
+	for _, path := range strings.Split(*files, ",") {
+		if path = strings.TrimSpace(path); path != "" {
+			s, err := perspector.LoadSuiteFile(path, cfg)
+			if err != nil {
+				return err
+			}
+			ss = append(ss, s)
+		}
+	}
+	if len(ss) == 0 {
 		return fmt.Errorf("compare: no suites given")
 	}
 	opts, err := common.options()
@@ -303,7 +386,7 @@ func runCompare(args []string) error {
 		return err
 	}
 	defer d.Close()
-	ms, err := d.MeasureNames(names)
+	ms, err := d.MeasureSuites(ss)
 	if err != nil {
 		return err
 	}
@@ -340,18 +423,18 @@ func runCompare(args []string) error {
 func runSubset(args []string) error {
 	fs := flag.NewFlagSet("subset", flag.ExitOnError)
 	common := addCommon(fs)
-	suite := fs.String("suite", "spec17", "suite to subset")
+	sel := addSuiteSel(fs, "spec17")
 	size := fs.Int("size", 8, "subset size")
 	subsetSeed := fs.Uint64("subsetseed", 0, "LHS seed (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := common.Config()
-	s, err := perspector.SuiteByName(*suite, cfg)
+	s, err := sel.resolve(cfg)
 	if err != nil {
 		return err
 	}
-	m, err := common.measureSuite(*suite)
+	m, err := common.measureSel(sel)
 	if err != nil {
 		return err
 	}
@@ -367,7 +450,7 @@ func runSubset(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "subset of %s (%d of %d workloads):\n", *suite, *size, len(s.Specs))
+	fmt.Fprintf(stdout, "subset of %s (%d of %d workloads):\n", sel.label(), *size, len(s.Specs))
 	for _, n := range res.Names {
 		fmt.Fprintln(stdout, "  ", n)
 	}
@@ -386,14 +469,14 @@ func runSubset(args []string) error {
 func runDump(args []string) error {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
 	common := addCommon(fs)
-	suite := fs.String("suite", "", "suite to dump (required)")
+	sel := addSuiteSel(fs, "")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *suite == "" {
-		return fmt.Errorf("dump: -suite is required")
+	if !sel.given() {
+		return fmt.Errorf("dump: -suite or -suite-file is required")
 	}
-	m, err := common.measureSuite(*suite)
+	m, err := common.measureSel(sel)
 	if err != nil {
 		return err
 	}
@@ -420,7 +503,7 @@ func runDump(args []string) error {
 func runPhases(args []string) error {
 	fs := flag.NewFlagSet("phases", flag.ExitOnError)
 	common := addCommon(fs)
-	suite := fs.String("suite", "", "suite (required)")
+	sel := addSuiteSel(fs, "")
 	workloadName := fs.String("workload", "", "workload name (required)")
 	counterName := fs.String("counter", "LLC-load-misses", "PMU counter")
 	window := fs.Int("window", 5, "detector half-window in samples")
@@ -428,10 +511,10 @@ func runPhases(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *suite == "" || *workloadName == "" {
-		return fmt.Errorf("phases: -suite and -workload are required")
+	if !sel.given() || *workloadName == "" {
+		return fmt.Errorf("phases: -suite (or -suite-file) and -workload are required")
 	}
-	m, err := common.measureSuite(*suite)
+	m, err := common.measureSel(sel)
 	if err != nil {
 		return err
 	}
@@ -458,27 +541,27 @@ func runPhases(args []string) error {
 		return nil
 	}
 	return fmt.Errorf("phases: workload %q not found in %s (try 'perspector list -v')",
-		*workloadName, *suite)
+		*workloadName, sel.label())
 }
 
 func runExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	common := addCommon(fs)
-	suite := fs.String("suite", "", "suite to measure and export (required)")
+	sel := addSuiteSel(fs, "")
 	out := fs.String("o", "", "output file (default stdout)")
 	format := fs.String("format", "json", "output format: json (full) or csv (totals)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *suite == "" {
-		return fmt.Errorf("export: -suite is required")
+	if !sel.given() {
+		return fmt.Errorf("export: -suite or -suite-file is required")
 	}
 	if *format == "csv" {
 		// The CSV format carries totals only, so the measurement can take
 		// the counters-only fast path; totals are bit-identical either way.
 		common.TotalsOnly = true
 	}
-	m, err := common.measureSuite(*suite)
+	m, err := common.measureSel(sel)
 	if err != nil {
 		return err
 	}
@@ -559,15 +642,15 @@ func runScoreFile(args []string) error {
 func runRedundancy(args []string) error {
 	fs := flag.NewFlagSet("redundancy", flag.ExitOnError)
 	common := addCommon(fs)
-	suite := fs.String("suite", "", "suite to analyze (required)")
+	sel := addSuiteSel(fs, "")
 	threshold := fs.Float64("threshold", 0.9, "minimum |Pearson r| to report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *suite == "" {
-		return fmt.Errorf("redundancy: -suite is required")
+	if !sel.given() {
+		return fmt.Errorf("redundancy: -suite or -suite-file is required")
 	}
-	m, err := common.measureSuite(*suite)
+	m, err := common.measureSel(sel)
 	if err != nil {
 		return err
 	}
@@ -580,10 +663,10 @@ func runRedundancy(args []string) error {
 		return err
 	}
 	if len(pairs) == 0 {
-		fmt.Fprintf(stdout, "no counter pairs with |r| >= %.2f in %s\n", *threshold, *suite)
+		fmt.Fprintf(stdout, "no counter pairs with |r| >= %.2f in %s\n", *threshold, sel.label())
 		return nil
 	}
-	fmt.Fprintf(stdout, "redundant counter pairs in %s (|r| >= %.2f):\n", *suite, *threshold)
+	fmt.Fprintf(stdout, "redundant counter pairs in %s (|r| >= %.2f):\n", sel.label(), *threshold)
 	for _, p := range pairs {
 		fmt.Fprintf(stdout, "  %-32s ~ %-32s r = %+.3f\n", p.A, p.B, p.R)
 	}
@@ -594,16 +677,16 @@ func runRedundancy(args []string) error {
 func runProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	common := addCommon(fs)
-	suite := fs.String("suite", "", "suite to profile (required)")
+	sel := addSuiteSel(fs, "")
 	window := fs.Int("window", 5, "detector half-window in samples")
 	threshold := fs.Float64("threshold", 2.5, "detector threshold in local-noise units")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *suite == "" {
-		return fmt.Errorf("profile: -suite is required")
+	if !sel.given() {
+		return fmt.Errorf("profile: -suite or -suite-file is required")
 	}
-	m, err := common.measureSuite(*suite)
+	m, err := common.measureSel(sel)
 	if err != nil {
 		return err
 	}
@@ -616,7 +699,7 @@ func runProfile(args []string) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "phase profile of %s (%s events, window %d, threshold %.1f):\n",
-		*suite, common.group, *window, *threshold)
+		sel.label(), common.group, *window, *threshold)
 	for i, w := range m.Workloads {
 		fmt.Fprintf(stdout, "  %-30s %3d boundaries\n", w.Workload, prof.Boundaries[i])
 	}
@@ -627,14 +710,14 @@ func runProfile(args []string) error {
 func runBaseline(args []string) error {
 	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
 	common := addCommon(fs)
-	suite := fs.String("suite", "", "suite to analyze (required)")
+	sel := addSuiteSel(fs, "")
 	k := fs.Int("k", 6, "number of flat clusters to cut")
 	linkageName := fs.String("linkage", "average", "linkage: single, complete, average")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *suite == "" {
-		return fmt.Errorf("baseline: -suite is required")
+	if !sel.given() {
+		return fmt.Errorf("baseline: -suite or -suite-file is required")
 	}
 	var linkage perspector.Linkage
 	switch *linkageName {
@@ -647,7 +730,7 @@ func runBaseline(args []string) error {
 	default:
 		return fmt.Errorf("baseline: unknown linkage %q", *linkageName)
 	}
-	m, err := common.measureSuite(*suite)
+	m, err := common.measureSel(sel)
 	if err != nil {
 		return err
 	}
@@ -660,7 +743,7 @@ func runBaseline(args []string) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "prior-work pipeline on %s (%s linkage, k=%d, %d PCA components):\n",
-		*suite, linkage, res.K, res.RetainedComponents)
+		sel.label(), linkage, res.K, res.RetainedComponents)
 	fmt.Fprintf(stdout, "silhouette of the cut: %.4f\n\n", res.Silhouette)
 	for c := 0; c < res.K; c++ {
 		fmt.Fprintf(stdout, "cluster %d (representative: %s):\n", c, m.Workloads[res.Representatives[c]].Workload)
@@ -669,6 +752,50 @@ func runBaseline(args []string) error {
 				fmt.Fprintf(stdout, "  %s\n", m.Workloads[i].Workload)
 			}
 		}
+	}
+	return nil
+}
+
+// runValidate checks declarative suite-spec files without simulating:
+// each file must decode under the strict codec, build into a suite under
+// the flag config, and have every workload compile into a generator
+// program. This is the CI gate for the files under examples/suites.
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	common := addCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("validate: no spec files given (usage: perspector validate spec.json ...)")
+	}
+	cfg := common.Config()
+	var failed bool
+	for _, path := range files {
+		s, err := perspector.LoadSuiteFile(path, cfg)
+		if err == nil {
+			for i := range s.Specs {
+				if _, cerr := workload.Compile(s.Specs[i]); cerr != nil {
+					err = fmt.Errorf("workload %s: %w", s.Specs[i].Name, cerr)
+					break
+				}
+			}
+		}
+		if err != nil {
+			failed = true
+			fmt.Fprintf(stdout, "%s: INVALID: %v\n", path, err)
+			continue
+		}
+		var instr uint64
+		for i := range s.Specs {
+			instr += s.Specs[i].Instructions
+		}
+		fmt.Fprintf(stdout, "%s: ok — suite %q, %d workloads, %d instructions\n",
+			path, s.Name, len(s.Specs), instr)
+	}
+	if failed {
+		return fmt.Errorf("validate: invalid spec files")
 	}
 	return nil
 }

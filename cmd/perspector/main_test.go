@@ -290,3 +290,113 @@ func TestRunExportErrors(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// customSpec writes a minimal user-authored suite spec to a temp file
+// and returns its path — the -suite-file input of the tests below.
+func customSpec(t *testing.T) string {
+	t.Helper()
+	doc := `{
+  "version": 1,
+  "name": "custom",
+  "description": "user-authored test suite",
+  "workloads": [
+    {
+      "name": "custom.scan",
+      "phases": [
+        {
+          "name": "scan",
+          "weight": 1,
+          "load_frac": 0.4,
+          "load_pattern": {"kind": "sequential", "working_set": 1048576, "stride": 64}
+        }
+      ]
+    },
+    {
+      "name": "custom.chase",
+      "phases": [
+        {
+          "name": "chase",
+          "weight": 1,
+          "load_frac": 0.5,
+          "load_pattern": {"kind": "pointer_chase", "working_set": 262144}
+        }
+      ]
+    }
+  ]
+}
+`
+	path := filepath.Join(t.TempDir(), "custom.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunScoreSuiteFile scores a user-authored spec file end-to-end:
+// load, build under the flag config, simulate, score.
+func TestRunScoreSuiteFile(t *testing.T) {
+	path := customSpec(t)
+	out := capture(t, func() error { return runScore(fast("-suite-file", path)) })
+	if !strings.Contains(out, "custom") || !strings.Contains(out, "cluster") {
+		t.Errorf("suite-file score output:\n%s", out)
+	}
+	// An explicit -suite alongside -suite-file is ambiguous and must fail.
+	if err := runScore(fast("-suite", "nbench", "-suite-file", path)); err == nil {
+		t.Error("score accepted both -suite and -suite-file")
+	}
+}
+
+// TestRunCompareSuiteFiles scores a spec-file suite jointly with a
+// registered one — the user-suite-vs-stock comparison of the README.
+func TestRunCompareSuiteFiles(t *testing.T) {
+	path := customSpec(t)
+	out := capture(t, func() error {
+		return runCompare(fast("-suites", "nbench", "-suite-files", path))
+	})
+	if !strings.Contains(out, "nbench") || !strings.Contains(out, "custom") {
+		t.Errorf("compare output missing a suite:\n%s", out)
+	}
+}
+
+func TestRunValidate(t *testing.T) {
+	path := customSpec(t)
+	out := capture(t, func() error { return runValidate([]string{path}) })
+	if !strings.Contains(out, "ok") || !strings.Contains(out, "custom") {
+		t.Errorf("validate output:\n%s", out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"name":"x","workloads":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runValidate([]string{bad}); err == nil {
+		t.Error("validate accepted an invalid spec")
+	}
+	if err := runValidate(nil); err == nil {
+		t.Error("validate accepted an empty file list")
+	}
+}
+
+// TestRunListIncludesSpecOnlySuites pins the registry-driven list: the
+// spec-only suite families must appear alongside the stock six.
+func TestRunListIncludesSpecOnlySuites(t *testing.T) {
+	out := capture(t, func() error { return runList(nil) })
+	for _, want := range []string{"bigdatabench", "cpu2026"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing spec-only suite %q", want)
+		}
+	}
+}
+
+// TestRunScoreUnknownSuite pins the registry error: an unknown name must
+// list every registered suite so the user can self-correct.
+func TestRunScoreUnknownSuite(t *testing.T) {
+	err := runScore(fast("-suite", "nonesuch"))
+	if err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+	for _, want := range []string{"nonesuch", "parsec", "sgxgauge", "bigdatabench", "cpu2026"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-suite error missing %q: %v", want, err)
+		}
+	}
+}

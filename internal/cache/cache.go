@@ -13,9 +13,15 @@
 //   - a schema version (bump SchemaVersion whenever the simulator,
 //     workload models, or trace format change semantically — that is the
 //     only invalidation rule besides deleting the directory),
-//   - the suite name and every workload spec (name, instruction budget,
-//     phase list with all pattern parameters),
-//   - the config: instruction budget, sample count, master seed,
+//   - the suite name and every workload spec — rendered through the
+//     workload codec's canonical JSON, which tags every access pattern
+//     with its generator kind. (The former %+v rendering dropped Go type
+//     names, so two pattern kinds with the same field shape — Random and
+//     PointerChase — hashed identically; with user-loaded spec files that
+//     collision became reachable.)
+//   - the config: instruction budget, sample count, master seed, and the
+//     totals-only switch (a totals-only measurement carries no series, so
+//     it must never be served to a full-series run),
 //   - the full machine configuration (cache geometry, TLB, predictor,
 //     prefetcher, latencies — a microarchitectural change must miss).
 //
@@ -40,12 +46,15 @@ import (
 	"perspector/internal/perf"
 	"perspector/internal/suites"
 	"perspector/internal/trace"
+	"perspector/internal/workload"
 )
 
 // SchemaVersion invalidates every existing entry when bumped. It must
 // change whenever the simulator, the workload models, or the trace
-// format change the bytes a measurement serializes to.
-const SchemaVersion = 1
+// format change the bytes a measurement serializes to — or, as with the
+// move to canonical spec JSON in the key, when the key scheme itself
+// changes.
+const SchemaVersion = 2
 
 // Store is an on-disk measurement cache rooted at one directory.
 type Store struct {
@@ -69,14 +78,24 @@ func Open(dir string) (*Store, error) {
 // into the hash; see the package comment for the scheme.
 func Key(s suites.Suite, cfg suites.Config) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "schema=%d\nsuite=%s\ninstr=%d\nsamples=%d\nseed=%d\n",
-		SchemaVersion, s.Name, cfg.Instructions, cfg.Samples, cfg.Seed)
-	// %+v renders nested structs and interface values (the access-pattern
-	// specs) with field names, deterministically: no maps or pointers are
-	// involved anywhere in Config or Spec.
+	fmt.Fprintf(h, "schema=%d\nsuite=%s\ninstr=%d\nsamples=%d\nseed=%d\ntotals-only=%t\n",
+		SchemaVersion, s.Name, cfg.Instructions, cfg.Samples, cfg.Seed, cfg.TotalsOnly)
+	// %+v renders the machine config deterministically: plain fields, no
+	// maps, pointers, or interfaces.
 	fmt.Fprintf(h, "machine=%+v\n", cfg.Machine)
 	for i := range s.Specs {
-		fmt.Fprintf(h, "spec[%d]=%+v\n", i, s.Specs[i])
+		// The canonical codec JSON tags every access pattern with its
+		// generator kind, so patterns with identical field shapes cannot
+		// collide, and user-loaded specs hash exactly like embedded ones.
+		data, err := workload.MarshalSpec(s.Specs[i])
+		if err != nil {
+			// Unserializable pattern (a custom PatternSpec implementation
+			// from the Go API): fall back to the typed reflective rendering
+			// so the key still reacts to every field, including type names.
+			fmt.Fprintf(h, "spec[%d]!%T=%#v\n", i, s.Specs[i], s.Specs[i])
+			continue
+		}
+		fmt.Fprintf(h, "spec[%d]=%s\n", i, data)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"perspector/internal/suites"
+	"perspector/internal/workload"
 )
 
 func smallConfig() suites.Config {
@@ -43,6 +44,34 @@ func TestKeyIsStableAndSensitive(t *testing.T) {
 	}
 	if Key(suites.LMbench(cfg), cfg) == base {
 		t.Fatal("different suite did not change the key")
+	}
+	totals := cfg
+	totals.TotalsOnly = true
+	if Key(suites.Nbench(totals), totals) == base {
+		t.Fatal("totals-only change did not change the key")
+	}
+}
+
+// TestKeyDistinguishesPatternKinds pins the fix for the %+v rendering:
+// two pattern kinds with identical field shapes (Random and
+// PointerChase both carry only WorkingSet) must hash differently, and a
+// user-built suite must hash identically to a spec-decoded one with the
+// same content.
+func TestKeyDistinguishesPatternKinds(t *testing.T) {
+	cfg := smallConfig()
+	mk := func(pat workload.PatternSpec) suites.Suite {
+		return suites.Suite{Name: "probe", Specs: []workload.Spec{{
+			Name: "probe.w", Instructions: cfg.Instructions, Seed: 1,
+			Phases: []workload.Phase{{Weight: 1, LoadFrac: 0.3, LoadPattern: pat}},
+		}}}
+	}
+	kRandom := Key(mk(workload.Random{WorkingSet: 1 << 20}), cfg)
+	kChase := Key(mk(workload.PointerChase{WorkingSet: 1 << 20}), cfg)
+	if kRandom == kChase {
+		t.Fatal("Random and PointerChase patterns hash to the same key")
+	}
+	if kRandom != Key(mk(workload.Random{WorkingSet: 1 << 20}), cfg) {
+		t.Fatal("identical content did not reproduce the key")
 	}
 }
 

@@ -209,7 +209,7 @@ func (d *Driver) Measure(s suites.Suite) (*perf.SuiteMeasurement, error) {
 	return d.Source(d.Flags.Config()).Measure(d.ctx, s)
 }
 
-// MeasureNamed resolves a stock suite by name and measures it.
+// MeasureNamed resolves a registered suite by name and measures it.
 func (d *Driver) MeasureNamed(name string) (*perf.SuiteMeasurement, error) {
 	cfg := d.Flags.Config()
 	s, err := suites.ByName(name, cfg)
@@ -217,6 +217,29 @@ func (d *Driver) MeasureNamed(name string) (*perf.SuiteMeasurement, error) {
 		return nil, err
 	}
 	return d.Source(cfg).Measure(d.ctx, s)
+}
+
+// ResolveSuite returns the suite a command should operate on: when file
+// is non-empty the suite is loaded from a declarative spec JSON file
+// (-suite-file), otherwise name resolves against the registry (-suite).
+// Spec-file suites build under cfg exactly like registered ones — seeds
+// derive from cfg.Seed and unpinned workloads take cfg.Instructions — so
+// a user-authored file scores on equal footing with the stock suites.
+func ResolveSuite(name, file string, cfg suites.Config) (suites.Suite, error) {
+	if file != "" {
+		if name != "" {
+			return suites.Suite{}, fmt.Errorf("pass -suite or -suite-file, not both")
+		}
+		sp, err := suites.LoadSpecFile(file)
+		if err != nil {
+			return suites.Suite{}, err
+		}
+		return sp.Build(cfg)
+	}
+	if name == "" {
+		return suites.Suite{}, fmt.Errorf("no suite given: pass -suite <name> (registered: %s) or -suite-file <spec.json>", suites.NameList())
+	}
+	return suites.ByName(name, cfg)
 }
 
 // MeasureSuites measures several suites in parallel through the cache,
@@ -259,11 +282,22 @@ func (d *Driver) MeasureNames(names []string) ([]*perf.SuiteMeasurement, error) 
 // (Seed, Seed+1, …) — the input of a score-stability analysis. Each seed
 // is an independent simulation with its own cache entry.
 func (d *Driver) MeasureSeeds(name string, n int) ([]*perf.SuiteMeasurement, error) {
+	return d.MeasureSeedsFrom(func(cfg suites.Config) (suites.Suite, error) {
+		return suites.ByName(name, cfg)
+	}, n)
+}
+
+// MeasureSeedsFrom is MeasureSeeds for any suite source: build is called
+// once per seed because suite construction itself depends on cfg.Seed
+// (workload seeds derive from it), so the suite must be rebuilt, not
+// reused, across the sweep. This is how -suite-file suites run a
+// stability analysis.
+func (d *Driver) MeasureSeedsFrom(build func(suites.Config) (suites.Suite, error), n int) ([]*perf.SuiteMeasurement, error) {
 	runs := make([]*perf.SuiteMeasurement, n)
 	err := par.DoErrCtx(d.ctx, n, func(ctx context.Context, _, r int) error {
 		cfg := d.Flags.Config()
 		cfg.Seed += uint64(r)
-		s, err := suites.ByName(name, cfg)
+		s, err := build(cfg)
 		if err != nil {
 			return err
 		}

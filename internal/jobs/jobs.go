@@ -43,7 +43,6 @@ import (
 	"perspector/internal/obs"
 	"perspector/internal/stage"
 	"perspector/internal/store"
-	"perspector/internal/suites"
 )
 
 // State is a job's position in its lifecycle.
@@ -637,12 +636,18 @@ func (q *Queue) SimulatedInstrPerSec() float64 {
 
 // requestKeySchema folds into every request key, so a change to the key
 // composition invalidates dedup/replay matches instead of aliasing.
-const requestKeySchema = 1
+// Schema 2: suites contribute through ResolvedSuites (named suites in
+// request order, then the inline suite spec), and the underlying
+// measurement keys hash canonical spec JSON instead of %+v renderings.
+const requestKeySchema = 2
 
 // hashRequest builds the content address of a normalized request. Suite
 // measurements contribute their internal/cache content address, so a
 // request key changes exactly when a cache key would — same machine
-// model, same invalidation discipline.
+// model, same invalidation discipline. An inline suite spec participates
+// through the same path: its canonical spec JSON is what the measurement
+// key hashes, so the spec hash is folded into the job key and two
+// requests whose spec texts build the same suite deduplicate.
 func hashRequest(r *Request) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "request-schema=%d\nkind=%s\ngroup=%s\n", requestKeySchema, r.Kind, r.Group)
@@ -652,14 +657,13 @@ func hashRequest(r *Request) string {
 			r.Trace.Format, r.Trace.Name, hex.EncodeToString(sum[:]))
 	} else {
 		cfg := r.SimConfig()
-		for i, name := range r.Suites {
-			s, err := suites.ByName(name, cfg)
-			if err != nil {
-				// Normalize already resolved every name; an error here can
-				// only mean the request was mutated after normalization.
-				fmt.Fprintf(h, "suite[%d]=unresolvable:%s\n", i, name)
-				continue
-			}
+		ss, err := r.ResolvedSuites(cfg)
+		if err != nil {
+			// Normalize already resolved every suite; an error here can
+			// only mean the request was mutated after normalization.
+			fmt.Fprintf(h, "unresolvable=%v\n", err)
+		}
+		for i, s := range ss {
 			fmt.Fprintf(h, "suite[%d]=%s\n", i, sourceKey(s, cfg))
 		}
 	}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"perspector/internal/perf"
@@ -35,7 +36,8 @@ type Request struct {
 	// Kind is store.KindScore (one suite, own normalization) or
 	// store.KindCompare (several suites, joint normalization).
 	Kind string `json:"kind"`
-	// Suites names stock suites to simulate; empty for trace uploads.
+	// Suites names registered suites to simulate; empty for trace
+	// uploads and spec-only score requests.
 	Suites []string `json:"suites,omitempty"`
 	// Group selects the focused event group: "all", "llc", "tlb".
 	Group string `json:"group,omitempty"`
@@ -43,8 +45,19 @@ type Request struct {
 	// defaults (400k instructions, 100 samples, seed 2023).
 	Config store.RunConfig `json:"config"`
 	// Trace, when set, scores uploaded measurements instead of
-	// simulating. Mutually exclusive with Suites.
+	// simulating. Mutually exclusive with Suites and SuiteSpec.
 	Trace *TraceUpload `json:"trace,omitempty"`
+	// SuiteSpec, when set, is an inline declarative suite-spec document
+	// (the -suite-file format). The suite builds and scores exactly like
+	// a registered one — for kind "score" on its own, for kind "compare"
+	// jointly after the named Suites — and its measurement content
+	// address (which hashes the canonical spec JSON) folds into the
+	// job/cache key, so two spec texts that build the same suite dedup
+	// and two that differ anywhere do not. Mutually exclusive with Trace.
+	SuiteSpec json.RawMessage `json:"suite_spec,omitempty"`
+
+	// suiteSpec is the decoded SuiteSpec, set by Normalize.
+	suiteSpec *suites.SuiteSpec
 }
 
 // Normalize fills defaults and validates the request in place. It must
@@ -80,6 +93,9 @@ func (r *Request) Normalize() error {
 		if len(r.Suites) > 0 {
 			return fmt.Errorf("jobs: request has both suites and a trace upload")
 		}
+		if len(r.SuiteSpec) > 0 {
+			return fmt.Errorf("jobs: request has both a suite spec and a trace upload")
+		}
 		if r.Kind != store.KindScore {
 			return fmt.Errorf("jobs: trace uploads are single-suite: kind must be %q", store.KindScore)
 		}
@@ -100,14 +116,34 @@ func (r *Request) Normalize() error {
 		}
 		return nil
 	}
-	if len(r.Suites) == 0 {
-		return fmt.Errorf("jobs: request needs suites or a trace upload")
-	}
-	if r.Kind == store.KindScore && len(r.Suites) != 1 {
-		return fmt.Errorf("jobs: kind %q scores exactly one suite, got %d", store.KindScore, len(r.Suites))
-	}
 	cfg := r.SimConfig()
-	seen := make(map[string]bool, len(r.Suites))
+	r.suiteSpec = nil
+	if len(r.SuiteSpec) > 0 {
+		if len(r.SuiteSpec) > suites.MaxSuiteSpecBytes {
+			return fmt.Errorf("jobs: suite spec exceeds %d bytes", suites.MaxSuiteSpecBytes)
+		}
+		sp, err := suites.UnmarshalSuiteSpec(r.SuiteSpec)
+		if err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+		// The spec must build under this request's config: Build is what
+		// the runner will call, so admit implies run.
+		if _, err := sp.Build(cfg); err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+		r.suiteSpec = sp
+	}
+	nSuites := len(r.Suites)
+	if r.suiteSpec != nil {
+		nSuites++
+	}
+	if nSuites == 0 {
+		return fmt.Errorf("jobs: request needs suites, a suite spec, or a trace upload")
+	}
+	if r.Kind == store.KindScore && nSuites != 1 {
+		return fmt.Errorf("jobs: kind %q scores exactly one suite, got %d", store.KindScore, nSuites)
+	}
+	seen := make(map[string]bool, nSuites)
 	for _, name := range r.Suites {
 		if seen[name] {
 			return fmt.Errorf("jobs: suite %q listed twice", name)
@@ -117,7 +153,32 @@ func (r *Request) Normalize() error {
 			return fmt.Errorf("jobs: %w", err)
 		}
 	}
+	if r.suiteSpec != nil && seen[r.suiteSpec.Name] {
+		return fmt.Errorf("jobs: inline suite %q also listed in suites", r.suiteSpec.Name)
+	}
 	return nil
+}
+
+// ResolvedSuites returns every suite the request scores under cfg:
+// registered names in request order, then the inline spec suite. It is
+// only valid after Normalize.
+func (r *Request) ResolvedSuites(cfg suites.Config) ([]suites.Suite, error) {
+	out := make([]suites.Suite, 0, len(r.Suites)+1)
+	for _, name := range r.Suites {
+		s, err := suites.ByName(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if r.suiteSpec != nil {
+		s, err := r.suiteSpec.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // SimConfig renders the request's simulation config: the paper's

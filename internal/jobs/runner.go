@@ -53,11 +53,16 @@ func runTrace(ctx context.Context, h *Handle, req Request, opts metric.Options) 
 	return store.New(req.Kind, req.Group, "trace", nil, []metric.Scores{scores}), nil
 }
 
-// runSimulated measures the requested stock suites (in parallel, through
-// the cache) and scores them: one suite on its own normalization for
-// kind "score", all suites under joint normalization for "compare".
+// runSimulated measures the request's suites — registered names plus an
+// inline suite spec, if any — in parallel through the cache, and scores
+// them: one suite on its own normalization for kind "score", all suites
+// under joint normalization for "compare".
 func runSimulated(ctx context.Context, h *Handle, req Request, opts metric.Options, cacheStore *cache.Store) (store.ScoreSet, error) {
 	cfg := req.SimConfig()
+	ss, err := req.ResolvedSuites(cfg)
+	if err != nil {
+		return store.ScoreSet{}, stage.Wrap(stage.Measure, "", "", err)
+	}
 	// The counting layer sits inside the cache decorator, so instructions
 	// are accounted only when the simulator actually runs — a cache hit
 	// retires nothing.
@@ -65,14 +70,10 @@ func runSimulated(ctx context.Context, h *Handle, req Request, opts metric.Optio
 		Inner: countingSource{inner: source.Simulator{Cfg: cfg}, h: h, perWorkload: cfg.Instructions},
 		Store: cacheStore,
 	}
-	h.SetStage("measure", len(req.Suites))
-	ms := make([]*perf.SuiteMeasurement, len(req.Suites))
-	err := par.DoErrCtx(ctx, len(req.Suites), func(ctx context.Context, _, i int) error {
-		s, err := suites.ByName(req.Suites[i], cfg)
-		if err != nil {
-			return stage.Wrap(stage.Measure, req.Suites[i], "", err)
-		}
-		m, err := src.Measure(ctx, s)
+	h.SetStage("measure", len(ss))
+	ms := make([]*perf.SuiteMeasurement, len(ss))
+	err = par.DoErrCtx(ctx, len(ss), func(ctx context.Context, _, i int) error {
+		m, err := src.Measure(ctx, ss[i])
 		if err != nil {
 			return err
 		}

@@ -57,8 +57,8 @@ type Metric interface {
 // n < 3 the score is 0 by the k=1 convention of Eq. 3.
 type clusterMetric struct{}
 
-func (clusterMetric) Name() string            { return MetricCluster }
-func (clusterMetric) Requires() Capabilities  { return Capabilities{} }
+func (clusterMetric) Name() string           { return MetricCluster }
+func (clusterMetric) Requires() Capabilities { return Capabilities{} }
 
 func (clusterMetric) Compute(ctx context.Context, a *Artifacts) (float64, error) {
 	n := len(a.Meas.Workloads)
@@ -107,8 +107,8 @@ func (clusterMetric) Compute(ctx context.Context, a *Artifacts) (float64, error)
 // the suite's workloads exhibit distinct phase behaviour.
 type trendMetric struct{}
 
-func (trendMetric) Name() string            { return MetricTrend }
-func (trendMetric) Requires() Capabilities  { return Capabilities{NeedsSeries: true} }
+func (trendMetric) Name() string           { return MetricTrend }
+func (trendMetric) Requires() Capabilities { return Capabilities{NeedsSeries: true} }
 
 func (trendMetric) Compute(ctx context.Context, a *Artifacts) (float64, error) {
 	n := len(a.Meas.Workloads)
@@ -167,8 +167,8 @@ func (trendMetric) Compute(ctx context.Context, a *Artifacts) (float64, error) {
 // variance of the retained components. Higher is better.
 type coverageMetric struct{}
 
-func (coverageMetric) Name() string            { return MetricCoverage }
-func (coverageMetric) Requires() Capabilities  { return Capabilities{NeedsJointNorm: true} }
+func (coverageMetric) Name() string           { return MetricCoverage }
+func (coverageMetric) Requires() Capabilities { return Capabilities{NeedsJointNorm: true} }
 
 func (coverageMetric) Compute(_ context.Context, a *Artifacts) (float64, error) {
 	if a.JointNorm == nil {
@@ -188,8 +188,8 @@ func (coverageMetric) Compute(_ context.Context, a *Artifacts) (float64, error) 
 // uniform covering of the parameter space).
 type spreadMetric struct{}
 
-func (spreadMetric) Name() string            { return MetricSpread }
-func (spreadMetric) Requires() Capabilities  { return Capabilities{NeedsJointNorm: true} }
+func (spreadMetric) Name() string           { return MetricSpread }
+func (spreadMetric) Requires() Capabilities { return Capabilities{NeedsJointNorm: true} }
 
 func (spreadMetric) Compute(_ context.Context, a *Artifacts) (float64, error) {
 	x := a.JointNorm

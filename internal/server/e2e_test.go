@@ -304,3 +304,117 @@ func TestServerShutdownDrainsWithoutGoroutineLeak(t *testing.T) {
 	}
 	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }
+
+// TestEndToEndInlineSuiteSpec submits a user-authored suite spec inline
+// in the request body and pins that the daemon scores it bit-identically
+// to building the same spec and scoring it through the library API, that
+// its job key differs from a registered-suite request, and that a
+// malformed spec is rejected with a 400 before a job exists.
+func TestEndToEndInlineSuiteSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	cfg := e2eConfig()
+	specText := []byte(`{
+  "version": 1,
+  "name": "custom",
+  "description": "user-authored e2e suite",
+  "workloads": [
+    {
+      "name": "custom.scan",
+      "phases": [
+        {
+          "name": "scan",
+          "weight": 1,
+          "load_frac": 0.4,
+          "load_pattern": {"kind": "sequential", "working_set": 1048576, "stride": 64}
+        }
+      ]
+    },
+    {
+      "name": "custom.chase",
+      "phases": [
+        {
+          "name": "chase",
+          "weight": 1,
+          "load_frac": 0.5,
+          "load_pattern": {"kind": "pointer_chase", "working_set": 262144}
+        }
+      ]
+    }
+  ]
+}`)
+
+	// Reference: decode, build and score the same spec directly.
+	sp, err := suites.UnmarshalSuiteSpec(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := sp.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	m, err := perspector.MeasureContext(ctx, suite, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := perspector.ScoreContext(ctx, m, perspector.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := newEnv(t, jobs.EngineRunner(nil), jobs.Options{Workers: 1, Log: discardLog()}, nil)
+	reqCfg := map[string]any{"instructions": cfg.Instructions, "samples": cfg.Samples, "seed": cfg.Seed}
+
+	code, data := env.do(t, "POST", "/api/v1/jobs", map[string]any{
+		"kind":       "score",
+		"suite_spec": json.RawMessage(specText),
+		"config":     reqCfg,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("inline-spec submit: %d %s", code, data)
+	}
+	var sub submitResp
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	set := waitResult(t, env, sub.Job.ID)
+	if set.Source != "simulator" {
+		t.Fatalf("inline-spec ScoreSet envelope: %+v", set)
+	}
+	got := set.Scores()
+	if len(got) != 1 || got[0].Suite != "custom" {
+		t.Fatalf("inline-spec scores: %+v", got)
+	}
+	if got[0] != want {
+		t.Fatalf("inline-spec score diverges from direct engine:\n got %x\nwant %x", got[0], want)
+	}
+
+	// The inline-spec job must not collide with a registered-suite job
+	// under the same config.
+	code, data = env.do(t, "POST", "/api/v1/jobs", map[string]any{
+		"kind": "score", "suites": []string{"nbench"}, "config": reqCfg,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("nbench submit: %d %s", code, data)
+	}
+	var other submitResp
+	if err := json.Unmarshal(data, &other); err != nil {
+		t.Fatal(err)
+	}
+	if other.Deduped || other.Job.ID == sub.Job.ID {
+		t.Fatalf("registered-suite request collided with inline-spec job: %+v", other.Job)
+	}
+	waitResult(t, env, other.Job.ID)
+
+	// A malformed spec never becomes a job.
+	code, data = env.do(t, "POST", "/api/v1/jobs", map[string]any{
+		"kind":       "score",
+		"suite_spec": json.RawMessage(`{"version":1,"name":"x","workloads":[]}`),
+		"config":     reqCfg,
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed spec submit = %d %s, want 400", code, data)
+	}
+}

@@ -23,7 +23,7 @@
 //	DELETE /api/v1/jobs/{id}     cancel (queued: immediate; running: ctx)
 //	GET    /api/v1/results       list stored results (content key, kind, suites)
 //	GET    /api/v1/results/{key} fetch one stored ScoreSet
-//	GET    /api/v1/suites        list the stock suites
+//	GET    /api/v1/suites        list every registered suite
 //	GET    /healthz              liveness
 //	GET    /metrics              Prometheus-style text exposition
 //	GET    /debug/pprof/         only with Config.EnablePprof
@@ -301,7 +301,7 @@ func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, set)
 }
 
-// suiteInfo is one stock suite in the /api/v1/suites listing.
+// suiteInfo is one registered suite in the /api/v1/suites listing.
 type suiteInfo struct {
 	Name        string   `json:"name"`
 	Description string   `json:"description"`
@@ -309,7 +309,7 @@ type suiteInfo struct {
 }
 
 func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
-	all := suites.All(suites.DefaultConfig())
+	all := suites.Registered(suites.DefaultConfig())
 	out := make([]suiteInfo, len(all))
 	for i, st := range all {
 		names := make([]string, len(st.Specs))

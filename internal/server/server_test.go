@@ -323,12 +323,19 @@ func TestSuitesAndHealthz(t *testing.T) {
 	if err := json.Unmarshal(data, &body); err != nil {
 		t.Fatal(err)
 	}
-	if len(body.Suites) != 6 {
-		t.Fatalf("listed %d stock suites, want 6", len(body.Suites))
+	if len(body.Suites) != 8 {
+		t.Fatalf("listed %d registered suites, want 8 (stock six + bigdatabench + cpu2026)", len(body.Suites))
 	}
+	names := make(map[string]bool, len(body.Suites))
 	for _, s := range body.Suites {
+		names[s.Name] = true
 		if len(s.Workloads) == 0 {
 			t.Fatalf("suite %s has no workloads", s.Name)
+		}
+	}
+	for _, want := range []string{"nbench", "spec17", "bigdatabench", "cpu2026"} {
+		if !names[want] {
+			t.Errorf("suite listing lacks %q", want)
 		}
 	}
 	if code, _ := env.do(t, "GET", "/healthz", nil); code != http.StatusOK {

@@ -1,0 +1,50 @@
+package suites
+
+import (
+	"testing"
+)
+
+// FuzzDecodeSuiteSpec holds the never-panic line of the suite-spec
+// decoder: suite specs cross a network boundary (perspectord inline
+// submissions) and a file boundary (-suite-file), so malformed JSON,
+// out-of-range weights and working sets, unknown generator kinds, and
+// hostile nesting must all surface as errors — never as panics or
+// unbounded allocations. Successfully decoded documents must then also
+// survive Build under the default config.
+func FuzzDecodeSuiteSpec(f *testing.F) {
+	// The embedded registry specs seed the happy-path corpus.
+	entries, err := specFS.ReadDir("specs")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := specFS.ReadFile("specs/" + e.Name())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Near-miss seeds steer the fuzzer at the rejection paths.
+	for _, s := range []string{
+		``,
+		`{}`,
+		`{"version":1,"name":"x","workloads":[]}`,
+		`{"version":1,"name":"x","workloads":[{"name":"x.a","phases":[{"weight":1}]}]}`,
+		`{"version":1,"name":"x","workloads":[{"name":"x.a","phases":[{"weight":-3,"load_frac":2,"load_pattern":{"kind":"random","working_set":64}}]}]}`,
+		`{"version":1,"name":"x","workloads":[{"name":"x.a","phases":[{"weight":1,"load_frac":0.5,"load_pattern":{"kind":"warp","working_set":64}}]}]}`,
+		`{"version":1,"name":"x","workloads":[{"name":"x.a","phases":[{"weight":1,"load_frac":0.5,"load_pattern":{"kind":"alternating","a":{"kind":"random","working_set":64},"b":{"kind":"random","working_set":64},"period":-5}}]}]}`,
+		`{"version":1,"name":"x","workloads":[{"name":"x.a","phases":[{"weight":1,"load_frac":0.5,"load_pattern":{"kind":"random","working_set":18446744073709551615}}]}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := UnmarshalSuiteSpec(data)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must build without error or panic.
+		if _, err := sp.Build(DefaultConfig()); err != nil {
+			t.Fatalf("decoded spec failed to build: %v", err)
+		}
+	})
+}

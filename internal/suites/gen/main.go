@@ -1,0 +1,38 @@
+// Command gen regenerates the embedded stock-suite spec files
+// (internal/suites/specs/<name>.json) from the Go constructor oracles.
+// Run it via go generate ./internal/suites after changing a stock
+// constructor; the drift test TestEmbeddedSpecsMatchOracles fails until
+// the files are regenerated.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"perspector/internal/suites"
+)
+
+func main() {
+	dir := "specs"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+	for _, name := range suites.StockNames() {
+		data, err := suites.StockSpecJSON(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gen:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+}

@@ -1,0 +1,230 @@
+package suites
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"perspector/internal/par"
+)
+
+// TestEmbeddedSpecsMatchOracles is the drift gate for the generated
+// spec files: every embedded specs/<name>.json must be byte-identical
+// to a fresh rendering of its Go constructor oracle. When a constructor
+// changes, run go generate ./internal/suites to refresh the files.
+func TestEmbeddedSpecsMatchOracles(t *testing.T) {
+	for _, name := range StockNames() {
+		want, err := StockSpecJSON(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := specFS.ReadFile("specs/" + name + ".json")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("embedded specs/%s.json drifted from its constructor; run go generate ./internal/suites", name)
+		}
+	}
+}
+
+// TestRegistryOrderAndNames pins the listing contract: the stock six in
+// paper order first, the spec-only families after, and the
+// unknown-suite error derived from the same table.
+func TestRegistryOrderAndNames(t *testing.T) {
+	names := Names()
+	wantPrefix := []string{"parsec", "spec17", "ligra", "lmbench", "nbench", "sgxgauge"}
+	if len(names) < len(wantPrefix) {
+		t.Fatalf("registry has %d suites, want at least %d", len(names), len(wantPrefix))
+	}
+	for i, w := range wantPrefix {
+		if names[i] != w {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], w)
+		}
+	}
+	for _, extra := range []string{"bigdatabench", "cpu2026"} {
+		found := false
+		for _, n := range names {
+			if n == extra {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing spec-only suite %q", extra)
+		}
+	}
+	cfg := DefaultConfig()
+	if len(All(cfg)) != 6 {
+		t.Errorf("All() returns %d suites, want the stock six", len(All(cfg)))
+	}
+	if got := len(Registered(cfg)); got != len(names) {
+		t.Errorf("Registered() returns %d suites, Names() lists %d", got, len(names))
+	}
+	_, err := ByName("nosuch", cfg)
+	if err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+	for _, n := range names {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("unknown-suite error %q does not list %q", err, n)
+		}
+	}
+}
+
+// TestSuiteSpecRoundTrip: a registered spec survives
+// Marshal→Unmarshal unchanged, and Build is deterministic.
+func TestSuiteSpecRoundTrip(t *testing.T) {
+	for _, e := range registry {
+		data, err := MarshalSuiteSpec(e.spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", e.name, err)
+		}
+		back, err := UnmarshalSuiteSpec(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", e.name, err)
+		}
+		if !reflect.DeepEqual(e.spec, back) {
+			t.Errorf("%s: spec round-trip drift", e.name)
+		}
+	}
+}
+
+// TestBuildMatchesConstructors: the registry materialization of every
+// stock suite is structurally identical (DeepEqual: names, budgets,
+// derived seeds, every phase and pattern parameter) to the constructor
+// output, across several configs.
+func TestBuildMatchesConstructors(t *testing.T) {
+	cfgs := []Config{DefaultConfig(), {Instructions: 1000, Samples: 10, Seed: 7}, {Instructions: 123457, Samples: 3, Seed: 0xfeedface}}
+	for _, cfg := range cfgs {
+		for _, b := range stockBuilders {
+			want := b.build(cfg)
+			got, err := ByName(b.name, cfg)
+			if err != nil {
+				t.Fatalf("ByName(%s): %v", b.name, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("suite %s (seed %d): registry build differs from constructor", b.name, cfg.Seed)
+			}
+		}
+	}
+}
+
+// TestSpecGoldenEquivalence is the golden acceptance gate of the
+// declarative-spec refactor: measuring each stock suite built from its
+// embedded spec must be hex-float bit-identical (every counter total,
+// every series sample) to measuring the pre-refactor constructor
+// output — at several worker counts, with TotalsOnly off and on.
+func TestSpecGoldenEquivalence(t *testing.T) {
+	baseCfg := shardConfig()
+	for _, workers := range []int{1, 3} {
+		prev := par.SetWorkers(workers)
+		for _, totalsOnly := range []bool{false, true} {
+			cfg := baseCfg
+			cfg.TotalsOnly = totalsOnly
+			for _, b := range stockBuilders {
+				oracle, err := Run(b.build(cfg), cfg)
+				if err != nil {
+					t.Fatalf("constructor %s: %v", b.name, err)
+				}
+				fromSpec, err := ByName(b.name, cfg)
+				if err != nil {
+					t.Fatalf("ByName(%s): %v", b.name, err)
+				}
+				got, err := Run(fromSpec, cfg)
+				if err != nil {
+					t.Fatalf("spec-built %s: %v", b.name, err)
+				}
+				label := "spec-vs-constructor"
+				if totalsOnly {
+					label += "/totals-only"
+				}
+				requireIdenticalMeasurements(t, label, oracle, got)
+			}
+		}
+		par.SetWorkers(prev)
+	}
+}
+
+// TestSpecOnlySuitesRun: the two PAPERS.md-derived families have no
+// constructor — the registry is their only source — and must validate,
+// build, and simulate end to end.
+func TestSpecOnlySuitesRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Instructions = 20_000
+	cfg.Samples = 20
+	for _, name := range []string{"bigdatabench", "cpu2026"} {
+		s, err := ByName(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.Specs) < 8 {
+			t.Errorf("%s: only %d workloads", name, len(s.Specs))
+		}
+		for i := range s.Specs {
+			if err := s.Specs[i].Validate(); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			if !strings.HasPrefix(s.Specs[i].Name, name+".") {
+				t.Errorf("%s: workload %q not prefixed", name, s.Specs[i].Name)
+			}
+		}
+		sm, err := Run(s, cfg)
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		for i := range sm.Workloads {
+			if sm.Workloads[i].Totals.Get(0) == 0 {
+				t.Errorf("%s: workload %s measured zero cycles", name, sm.Workloads[i].Workload)
+			}
+		}
+	}
+}
+
+// TestDecodeSuiteSpecRejects covers the spec-level failure modes that
+// sit above the workload codec: version, naming, duplicates, emptiness.
+func TestDecodeSuiteSpecRejects(t *testing.T) {
+	phases := `[{"weight":1,"load_frac":0.2,"load_pattern":{"kind":"random","working_set":65536}}]`
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"bad version", `{"version":9,"name":"x","workloads":[{"name":"x.a","phases":` + phases + `}]}`, "version"},
+		{"no name", `{"version":1,"name":"","workloads":[{"name":"x.a","phases":` + phases + `}]}`, "no name"},
+		{"no workloads", `{"version":1,"name":"x","workloads":[]}`, "no workloads"},
+		{"unnamed workload", `{"version":1,"name":"x","workloads":[{"name":"","phases":` + phases + `}]}`, "no name"},
+		{"duplicate workload", `{"version":1,"name":"x","workloads":[{"name":"x.a","phases":` + phases + `},{"name":"x.a","phases":` + phases + `}]}`, "duplicate"},
+		{"no phases", `{"version":1,"name":"x","workloads":[{"name":"x.a","phases":[]}]}`, "phases"},
+		{"unknown field", `{"version":1,"name":"x","suites":1,"workloads":[{"name":"x.a","phases":` + phases + `}]}`, "unknown field"},
+		{"bad weight", `{"version":1,"name":"x","workloads":[{"name":"x.a","phases":[{"weight":-1,"load_frac":0.2,"load_pattern":{"kind":"random","working_set":65536}}]}]}`, "weight"},
+		{"unknown kind", `{"version":1,"name":"x","workloads":[{"name":"x.a","phases":[{"weight":1,"load_frac":0.2,"load_pattern":{"kind":"gather","working_set":65536}}]}]}`, "unknown pattern kind"},
+	}
+	for _, tc := range cases {
+		_, err := UnmarshalSuiteSpec([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSpecOfInverse: SpecOf is Build's inverse on every registered
+// suite, including pinned per-workload budgets.
+func TestSpecOfInverse(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, e := range registry {
+		s := e.build(cfg)
+		back := SpecOf(s, cfg)
+		rebuilt, err := back.Build(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if !reflect.DeepEqual(s, rebuilt) {
+			t.Errorf("%s: SpecOf∘Build not identity", e.name)
+		}
+	}
+}

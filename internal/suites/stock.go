@@ -1,0 +1,52 @@
+package suites
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// stockBuilders are the pre-refactor Go constructors of the six
+// Table-III suites. They are no longer on the runtime resolution path —
+// ByName/All build from the embedded declarative specs — but stay as
+// the generation source for those specs (go generate ./internal/suites)
+// and as the oracle of the golden equivalence test that pins the
+// embedded specs bit-identical to them.
+var stockBuilders = []struct {
+	name  string
+	build func(Config) Suite
+}{
+	{"parsec", PARSEC},
+	{"spec17", SPEC17},
+	{"ligra", Ligra},
+	{"lmbench", LMbench},
+	{"nbench", Nbench},
+	{"sgxgauge", SGXGauge},
+}
+
+// StockSpecJSON renders the named stock suite's constructor output as
+// the canonical indented spec document — the exact bytes of the
+// embedded specs/<name>.json file. The gen tool writes these files and
+// the drift test asserts the embedded copies still match.
+func StockSpecJSON(name string) ([]byte, error) {
+	for _, b := range stockBuilders {
+		if b.name != name {
+			continue
+		}
+		cfg := DefaultConfig()
+		var buf bytes.Buffer
+		if err := EncodeSuiteSpec(&buf, SpecOf(b.build(cfg), cfg)); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return nil, fmt.Errorf("suites: no stock builder %q", name)
+}
+
+// StockNames returns the six Table-III suite names in paper order.
+func StockNames() []string {
+	names := make([]string, len(stockBuilders))
+	for i, b := range stockBuilders {
+		names[i] = b.name
+	}
+	return names
+}

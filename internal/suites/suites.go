@@ -92,39 +92,6 @@ func seedFor(cfg Config, name string, i int) uint64 {
 	return rng.ChildSeed(cfg.Seed^fnv1a(name), i)
 }
 
-// All returns the six Table-III suites in paper order.
-func All(cfg Config) []Suite {
-	return []Suite{
-		PARSEC(cfg),
-		SPEC17(cfg),
-		Ligra(cfg),
-		LMbench(cfg),
-		Nbench(cfg),
-		SGXGauge(cfg),
-	}
-}
-
-// ByName returns the named suite ("parsec", "spec17", "ligra", "lmbench",
-// "nbench", "sgxgauge").
-func ByName(name string, cfg Config) (Suite, error) {
-	switch name {
-	case "parsec":
-		return PARSEC(cfg), nil
-	case "spec17":
-		return SPEC17(cfg), nil
-	case "ligra":
-		return Ligra(cfg), nil
-	case "lmbench":
-		return LMbench(cfg), nil
-	case "nbench":
-		return Nbench(cfg), nil
-	case "sgxgauge":
-		return SGXGauge(cfg), nil
-	default:
-		return Suite{}, fmt.Errorf("suites: unknown suite %q", name)
-	}
-}
-
 // Run executes every workload of the suite on a fresh machine and collects
 // totals and time series. Workloads run in parallel; results keep suite
 // order and are fully deterministic (each workload owns its machine and

@@ -115,9 +115,30 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // SGXGauge.
 func StockSuites(cfg Config) []Suite { return suites.All(cfg) }
 
-// SuiteByName returns one stock suite: "parsec", "spec17", "ligra",
-// "lmbench", "nbench" or "sgxgauge".
+// SuiteByName returns one registered suite by name — the six stock
+// suites plus the spec-only families ("bigdatabench", "cpu2026"). The
+// error for an unknown name lists every registered suite.
 func SuiteByName(name string, cfg Config) (Suite, error) { return suites.ByName(name, cfg) }
+
+// RegisteredSuites returns every suite in the registry — the stock six
+// (in paper order) followed by the spec-only families.
+func RegisteredSuites(cfg Config) []Suite { return suites.Registered(cfg) }
+
+// SuiteNames returns the names of every registered suite, stock six
+// first, spec-only families after.
+func SuiteNames() []string { return suites.Names() }
+
+// LoadSuiteFile loads a declarative suite-spec JSON file (the format
+// under internal/suites/specs and examples/suites) and builds it under
+// cfg: unpinned workloads take cfg.Instructions and per-workload seeds
+// derive from cfg.Seed, exactly as for registered suites.
+func LoadSuiteFile(path string, cfg Config) (Suite, error) {
+	sp, err := suites.LoadSpecFile(path)
+	if err != nil {
+		return Suite{}, err
+	}
+	return sp.Build(cfg)
+}
 
 // NewSuite builds a custom suite from caller-defined workloads. Every
 // workload is validated.
