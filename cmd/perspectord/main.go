@@ -17,9 +17,23 @@
 //	curl -s 'localhost:8080/api/v1/jobs/j-000001/result?wait=1'
 //	curl -s -X DELETE localhost:8080/api/v1/jobs/j-000002
 //
+// # Fleet mode
+//
+// perspectord also runs as a coordinator/worker cluster. The
+// coordinator owns the public API and routes each job by its content
+// key onto a consistent-hash ring of workers; workers execute on their
+// local engine and stream results back, and every node's store
+// converges to the same result set through replication:
+//
+//	perspectord -role coordinator -addr :8080 -store-dir ./coord-data
+//	perspectord -role worker -join http://localhost:8080 -node-id w1 \
+//	    -addr :8081 -store-dir ./w1-data -cache-dir ./w1-cache
+//
 // On SIGTERM/SIGINT the server drains: the listener stops accepting,
 // queued jobs are cancelled, and running jobs get -drain-timeout to
-// finish before their contexts are cancelled too.
+// finish before their contexts are cancelled too. A worker drains
+// gracefully: it stops pulling, finishes in-flight dispatches, pushes
+// their results, and leaves the fleet.
 package main
 
 import (
@@ -36,6 +50,7 @@ import (
 
 	"perspector/internal/buildinfo"
 	"perspector/internal/cache"
+	"perspector/internal/fleet"
 	"perspector/internal/jobs"
 	"perspector/internal/par"
 	"perspector/internal/server"
@@ -61,6 +76,13 @@ type options struct {
 	enablePprof  bool
 	logJSON      bool
 	version      bool
+
+	role        string
+	join        string
+	nodeID      string
+	capacity    int
+	tenantRate  float64
+	tenantBurst int
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -76,11 +98,39 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long running jobs get to finish on shutdown")
 	fs.BoolVar(&o.enablePprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
 	fs.BoolVar(&o.logJSON, "log-json", false, "log in JSON instead of text")
+	fs.StringVar(&o.role, "role", "single", "node role: single, coordinator, or worker")
+	fs.StringVar(&o.join, "join", "", "coordinator URL a worker registers with (role worker)")
+	fs.StringVar(&o.nodeID, "node-id", "", "stable fleet node name (default: hostname)")
+	fs.IntVar(&o.capacity, "capacity", 0, "dispatches a worker runs concurrently (0 = -jobs)")
+	fs.Float64Var(&o.tenantRate, "tenant-rate", 0, "per-tenant submissions/second quota (0 = unlimited)")
+	fs.IntVar(&o.tenantBurst, "tenant-burst", 10, "per-tenant submission burst")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if o.jobWorkers < 1 {
 		return nil, fmt.Errorf("-jobs must be >= 1")
+	}
+	switch o.role {
+	case "single", "coordinator":
+	case "worker":
+		if o.join == "" {
+			return nil, fmt.Errorf("-role worker requires -join <coordinator URL>")
+		}
+		if o.storeDir == "" {
+			return nil, fmt.Errorf("-role worker requires a -store-dir for its result replica")
+		}
+	default:
+		return nil, fmt.Errorf("unknown -role %q (want single, coordinator, or worker)", o.role)
+	}
+	if o.capacity == 0 {
+		o.capacity = o.jobWorkers
+	}
+	if o.nodeID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = fmt.Sprintf("node-%d", os.Getpid())
+		}
+		o.nodeID = host
 	}
 	return o, nil
 }
@@ -117,19 +167,55 @@ func run(args []string) error {
 		defer resultStore.Close()
 	}
 
-	queue := jobs.New(jobs.EngineRunner(cacheStore), jobs.Options{
+	// The queue's runner is the role switch: single and worker nodes
+	// execute on the local engine; a coordinator's queue dispatches into
+	// the fleet, so dedup/replay/cancel/drain stay fleet-wide.
+	var coord *fleet.Coordinator
+	runner := jobs.EngineRunner(cacheStore)
+	if o.role == "coordinator" {
+		coord = fleet.NewCoordinator(fleet.CoordinatorOptions{Store: resultStore, Log: log})
+		defer coord.Close()
+		runner = jobs.RemoteRunner(coord)
+	}
+	queue := jobs.New(runner, jobs.Options{
 		Workers:  o.jobWorkers,
 		MaxQueue: o.maxQueue,
 		Store:    resultStore,
 		Log:      log,
 	})
-	srv := server.New(server.Config{
+
+	var worker *fleet.Worker
+	if o.role == "worker" {
+		worker, err = fleet.NewWorker(fleet.WorkerOptions{
+			Coordinator: o.join,
+			NodeID:      o.nodeID,
+			Capacity:    o.capacity,
+			Queue:       queue,
+			Store:       resultStore,
+			Log:         log,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := server.Config{
 		Queue:       queue,
 		Store:       resultStore,
 		Cache:       cacheStore,
 		Log:         log,
 		EnablePprof: o.enablePprof,
-	})
+		Role:        o.role,
+		Coordinator: coord,
+		Quota:       fleet.NewTenantLimiter(o.tenantRate, o.tenantBurst),
+	}
+	if o.role != "single" {
+		cfg.NodeID = o.nodeID
+	}
+	if worker != nil {
+		cfg.Peers = worker.Peers
+	}
+	srv := server.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              o.addr,
 		Handler:           srv.Handler(),
@@ -139,10 +225,16 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
 
+	var workerDone chan error
+	if worker != nil {
+		workerDone = make(chan error, 1)
+		go func() { workerDone <- worker.Run(ctx) }()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Info("perspectord listening", "addr", o.addr,
-			"store", o.storeDir, "cache", o.cacheDir,
+		log.Info("perspectord listening", "addr", o.addr, "role", o.role,
+			"node", o.nodeID, "store", o.storeDir, "cache", o.cacheDir,
 			"jobs", o.jobWorkers, "engine_workers", par.Workers(), "pprof", o.enablePprof)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
@@ -167,7 +259,23 @@ func run(args []string) error {
 	if err := httpSrv.Shutdown(deadline); err != nil {
 		log.Warn("http shutdown", "error", err)
 	}
-	if err := queue.Drain(deadline); err != nil {
+	// A worker's fleet loop drains concurrently with the queue: the
+	// signal context already stopped its pulls, Run waits for in-flight
+	// dispatches (which the queue deadline bounds), pushes their results
+	// and leaves the fleet.
+	drained := make(chan error, 1)
+	go func() { drained <- queue.Drain(deadline) }()
+	if workerDone != nil {
+		select {
+		case err := <-workerDone:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				log.Warn("fleet worker exit", "error", err)
+			}
+		case <-deadline.Done():
+			log.Warn("fleet worker did not drain before the deadline")
+		}
+	}
+	if err := <-drained; err != nil {
 		log.Warn("drain cancelled running jobs at deadline", "error", err)
 	} else {
 		log.Info("drained cleanly")

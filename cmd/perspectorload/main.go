@@ -1,0 +1,242 @@
+// Command perspectorload is a load generator for perspectord: many
+// concurrent submitters firing score/compare jobs at one endpoint
+// (single node or fleet coordinator), then verifying that every
+// accepted job reached a terminal result — the "zero lost jobs" check
+// behind the fleet's admission-control and rebalancing claims.
+//
+//	perspectorload -addr http://localhost:8080 -c 1000 -n 5000 -distinct 8
+//
+// The tool reports accepted vs deduplicated submissions, 429s split
+// into per-tenant quota and queue-full backpressure, and how many
+// accepted jobs never produced a result (lost). The exit status is
+// nonzero when jobs were lost or transport errors occurred.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perspectorload:", err)
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	defer cancel()
+	rep, err := runLoad(ctx, o, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perspectorload:", err)
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+	if rep.Lost > 0 || rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+type loadOptions struct {
+	addr        string
+	concurrency int
+	total       int
+	distinct    int
+	tenants     int
+	instr       uint64
+	samples     int
+	timeout     time.Duration
+}
+
+func parseFlags(args []string) (*loadOptions, error) {
+	fs := flag.NewFlagSet("perspectorload", flag.ContinueOnError)
+	o := &loadOptions{}
+	fs.StringVar(&o.addr, "addr", "http://localhost:8080", "perspectord base URL (fleet coordinator or single node)")
+	fs.IntVar(&o.concurrency, "c", 1000, "concurrent submitters")
+	fs.IntVar(&o.total, "n", 5000, "total submissions across all submitters")
+	fs.IntVar(&o.distinct, "distinct", 8, "distinct request shapes (the rest deduplicate server-side)")
+	fs.IntVar(&o.tenants, "tenants", 1, "distinct X-Tenant values to submit under")
+	fs.Uint64Var(&o.instr, "instr", 20000, "simulated instructions per workload")
+	fs.IntVar(&o.samples, "samples", 10, "samples per workload")
+	fs.DurationVar(&o.timeout, "timeout", 5*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.concurrency < 1 || o.total < 1 || o.distinct < 1 || o.tenants < 1 {
+		return nil, fmt.Errorf("-c, -n, -distinct and -tenants must all be >= 1")
+	}
+	return o, nil
+}
+
+// report is the run summary, printed as JSON.
+type report struct {
+	Submitted    int64   `json:"submitted"`
+	Accepted     int64   `json:"accepted"`
+	Deduped      int64   `json:"deduped"`
+	Quota429     int64   `json:"quota_429"`
+	Backpressure int64   `json:"backpressure_429"`
+	Errors       int64   `json:"errors"`
+	Jobs         int     `json:"jobs"`
+	Lost         int     `json:"lost"`
+	Elapsed      float64 `json:"elapsed_seconds"`
+}
+
+// requestBody renders the i-th distinct submission. The first six
+// shapes are the stock suites; further shapes re-score them under
+// shifted seeds, so every shape is a distinct content key.
+func requestBody(o *loadOptions, i int) []byte {
+	suites := []string{"parsec", "spec17", "ligra", "lmbench", "nbench", "sgxgauge"}
+	body := map[string]any{
+		"kind":   "score",
+		"suites": []string{suites[i%len(suites)]},
+		"config": map[string]any{
+			"instructions": o.instr,
+			"samples":      o.samples,
+			"seed":         2023 + i/len(suites),
+		},
+	}
+	data, _ := json.Marshal(body)
+	return data
+}
+
+// runLoad fires o.total submissions from o.concurrency goroutines, then
+// waits for every accepted job's terminal result. client nil uses a
+// default with a generous timeout (result waits long-poll).
+func runLoad(ctx context.Context, o *loadOptions, client *http.Client) (report, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	bodies := make([][]byte, o.distinct)
+	for i := range bodies {
+		bodies[i] = requestBody(o, i)
+	}
+
+	var rep report
+	var mu sync.Mutex
+	jobIDs := make(map[string]bool)
+	var next atomic.Int64
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for c := 0; c < o.concurrency; c++ {
+		wg.Add(1)
+		go func(submitter int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.total || ctx.Err() != nil {
+					return
+				}
+				atomic.AddInt64(&rep.Submitted, 1)
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					o.addr+"/api/v1/jobs", bytes.NewReader(bodies[i%o.distinct]))
+				if err != nil {
+					atomic.AddInt64(&rep.Errors, 1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Tenant", fmt.Sprintf("tenant-%d", submitter%o.tenants))
+				resp, err := client.Do(req)
+				if err != nil {
+					atomic.AddInt64(&rep.Errors, 1)
+					continue
+				}
+				raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted, http.StatusOK:
+					var sub struct {
+						Job struct {
+							ID string `json:"id"`
+						} `json:"job"`
+						Deduped bool `json:"deduped"`
+					}
+					if err := json.Unmarshal(raw, &sub); err != nil || sub.Job.ID == "" {
+						atomic.AddInt64(&rep.Errors, 1)
+						continue
+					}
+					if sub.Deduped {
+						atomic.AddInt64(&rep.Deduped, 1)
+					} else {
+						atomic.AddInt64(&rep.Accepted, 1)
+					}
+					mu.Lock()
+					jobIDs[sub.Job.ID] = true
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					// The server's two 429 sources phrase their errors
+					// differently; the quota one names the tenant.
+					if strings.Contains(string(raw), "quota") {
+						atomic.AddInt64(&rep.Quota429, 1)
+					} else {
+						atomic.AddInt64(&rep.Backpressure, 1)
+					}
+				default:
+					atomic.AddInt64(&rep.Errors, 1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Every accepted or deduplicated submission resolved to a job; each
+	// must reach a terminal result. Lost = it did not.
+	rep.Jobs = len(jobIDs)
+	sem := make(chan struct{}, 64)
+	var lost atomic.Int64
+	for id := range jobIDs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(id string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if !waitResult(ctx, client, o.addr, id) {
+				lost.Add(1)
+			}
+		}(id)
+	}
+	wg.Wait()
+	rep.Lost = int(lost.Load())
+	rep.Elapsed = time.Since(start).Seconds()
+	if ctx.Err() != nil {
+		return rep, fmt.Errorf("deadline exceeded with %d jobs unresolved", rep.Lost)
+	}
+	return rep, nil
+}
+
+// waitResult long-polls one job until it has a ScoreSet.
+func waitResult(ctx context.Context, client *http.Client, addr, id string) bool {
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			addr+"/api/v1/jobs/"+id+"/result?wait=1", nil)
+		if err != nil {
+			return false
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return true
+		case http.StatusAccepted:
+			continue // still running; poll again
+		default:
+			return false // failed, cancelled, or unknown: the job is lost
+		}
+	}
+	return false
+}

@@ -37,6 +37,7 @@ package cache
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"os"
@@ -98,6 +99,24 @@ func Key(s suites.Suite, cfg suites.Config) string {
 		fmt.Fprintf(h, "spec[%d]=%s\n", i, data)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RingPoint maps a content key to its position on a consistent-hash
+// ring — the fleet's key-ownership helper. The keys produced by Key
+// (and by the request hashing built on it) are hex SHA-256, already
+// uniformly distributed, so the first 64 bits are the point; any other
+// key shape is re-hashed first. Ownership therefore follows the content
+// address itself: the same measurement or job key lands on the same
+// node from any process, which is what turns each node's measurement
+// cache into a shard of one fleet-wide cache.
+func RingPoint(key string) uint64 {
+	if len(key) >= 16 {
+		if raw, err := hex.DecodeString(key[:16]); err == nil {
+			return binary.BigEndian.Uint64(raw)
+		}
+	}
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
 }
 
 // path returns the entry file for a key.

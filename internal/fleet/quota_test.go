@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a TenantLimiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedLimiter(rate float64, burst int) (*TenantLimiter, *fakeClock) {
+	l := NewTenantLimiter(rate, burst)
+	c := &fakeClock{t: time.Unix(1700000000, 0)}
+	l.now = c.now
+	return l, c
+}
+
+func TestTenantLimiterBurstThenDeny(t *testing.T) {
+	l, _ := newClockedLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("acme"); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, retry := l.Allow("acme")
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	if retry < time.Second {
+		t.Errorf("Retry-After %v < 1s", retry)
+	}
+	// Other tenants have their own bucket.
+	if ok, _ := l.Allow("globex"); !ok {
+		t.Error("fresh tenant denied while another is throttled")
+	}
+}
+
+func TestTenantLimiterRefill(t *testing.T) {
+	l, clock := newClockedLimiter(2, 2) // 2 tokens/s, burst 2
+	l.Allow("acme")
+	l.Allow("acme")
+	if ok, _ := l.Allow("acme"); ok {
+		t.Fatal("empty bucket admitted")
+	}
+	clock.advance(600 * time.Millisecond) // refills 1.2 tokens
+	if ok, _ := l.Allow("acme"); !ok {
+		t.Fatal("bucket did not refill at rate")
+	}
+	if ok, _ := l.Allow("acme"); ok {
+		t.Fatal("refill exceeded elapsed-time budget")
+	}
+	clock.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("acme"); !ok {
+			t.Fatalf("burst token %d missing after long idle", i)
+		}
+	}
+	if ok, _ := l.Allow("acme"); ok {
+		t.Fatal("bucket refilled past burst cap")
+	}
+}
+
+func TestTenantLimiterNilAdmitsEverything(t *testing.T) {
+	var l *TenantLimiter
+	for i := 0; i < 100; i++ {
+		if ok, retry := l.Allow("anyone"); !ok || retry != 0 {
+			t.Fatalf("nil limiter denied (retry %v)", retry)
+		}
+	}
+	if NewTenantLimiter(0, 10) != nil || NewTenantLimiter(5, 0) != nil {
+		t.Error("non-positive rate/burst should build the nil limiter")
+	}
+	if l.Tenants() != 0 {
+		t.Error("nil limiter reports tenants")
+	}
+}
+
+func TestTenantLimiterOverflowBucket(t *testing.T) {
+	l, _ := newClockedLimiter(1, 1)
+	l.maxTenants = 2
+	l.Allow("t0")
+	l.Allow("t1")
+	if got := l.Tenants(); got != 2 {
+		t.Fatalf("Tenants() = %d, want 2", got)
+	}
+	// Every further name shares one overflow bucket: the first spend
+	// empties it for all of them.
+	if ok, _ := l.Allow("t2"); !ok {
+		t.Fatal("first overflow request denied")
+	}
+	for i := 3; i < 10; i++ {
+		if ok, _ := l.Allow(fmt.Sprintf("t%d", i)); ok {
+			t.Fatalf("overflow tenant t%d admitted from the shared empty bucket", i)
+		}
+	}
+	if got := l.Tenants(); got != 2 {
+		t.Errorf("overflow grew the tenant table to %d", got)
+	}
+}

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 64 points
+// per node keeps the largest/smallest arc ratio low (load within a few
+// percent of even for realistic fleet sizes) while membership changes
+// stay cheap: the ring is rebuilt from scratch on join/leave, which for
+// tens of nodes is microseconds.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring: node IDs expanded into
+// virtual points on the uint64 circle. Build a new one on every
+// membership change; lookups are a binary search.
+type Ring struct {
+	points []ringPoint
+	nodes  int
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing places every node's virtual points on the circle. Duplicate
+// node IDs are collapsed. An empty node list yields a ring that owns
+// nothing.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes++
+		for v := 0; v < vnodes; v++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("node=%s\nvnode=%d\n", n, v)))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit hash collision between virtual points is vanishingly
+		// rare but must still order deterministically on every replica.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner returns the node owning ring position p — the first virtual
+// point clockwise from p — or "" on an empty ring.
+func (r *Ring) Owner(p uint64) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= p })
+	if i == len(r.points) {
+		i = 0 // wrap: p is past the last point, the first point owns it
+	}
+	return r.points[i].node
+}
+
+// Len returns the number of physical nodes on the ring.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.nodes
+}

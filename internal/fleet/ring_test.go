@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"perspector/internal/cache"
+)
+
+func ringKeys(n int) []uint64 {
+	points := make([]uint64, n)
+	for i := range points {
+		// Content keys are hex SHA-256, so RingPoint over a hash-shaped
+		// string is the realistic input distribution.
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		points[i] = cache.RingPoint(fmt.Sprintf("%x", sum))
+	}
+	return points
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2"}, 64) // order must not matter
+	for _, p := range ringKeys(2000) {
+		if a.Owner(p) != b.Owner(p) {
+			t.Fatalf("Owner(%d) differs across construction orders: %q vs %q", p, a.Owner(p), b.Owner(p))
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r := NewRing(nodes, DefaultVNodes)
+	counts := make(map[string]int)
+	keys := ringKeys(30000)
+	for _, p := range keys {
+		counts[r.Owner(p)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		// Perfect balance is 1/3; 64 vnodes should keep every node well
+		// inside [15%, 55%].
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys, outside [15%%, 55%%]", n, 100*share)
+		}
+	}
+}
+
+func TestRingStabilityOnMembershipChange(t *testing.T) {
+	before := NewRing([]string{"n1", "n2", "n3"}, DefaultVNodes)
+	after := NewRing([]string{"n1", "n2"}, DefaultVNodes) // n3 left
+	keys := ringKeys(10000)
+	moved := 0
+	for _, p := range keys {
+		was, now := before.Owner(p), after.Owner(p)
+		if was != "n3" && was != now {
+			t.Fatalf("key %d moved from surviving node %q to %q when n3 left", p, was, now)
+		}
+		if was != now {
+			moved++
+		}
+	}
+	// Only n3's arcs may move: roughly a third of the keyspace.
+	if moved == 0 || moved > len(keys)/2 {
+		t.Errorf("%d/%d keys moved when n3 left; want roughly a third", moved, len(keys))
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if got := NewRing(nil, 64).Owner(42); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	if got := NewRing([]string{"a", "a", "", "a"}, 8).Len(); got != 1 {
+		t.Errorf("ring with duplicate/empty IDs has Len %d, want 1", got)
+	}
+	one := NewRing([]string{"solo"}, 4)
+	for _, p := range []uint64{0, 1 << 63, ^uint64(0)} {
+		if got := one.Owner(p); got != "solo" {
+			t.Errorf("single-node ring Owner(%d) = %q, want solo", p, got)
+		}
+	}
+}

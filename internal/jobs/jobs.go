@@ -138,7 +138,7 @@ type Snapshot struct {
 
 	State State `json:"state"`
 	// Stage is the engine stage the job is in (or died in): "measure",
-	// "score", "store".
+	// "score", "store" — or "dispatch" on a fleet coordinator.
 	Stage string `json:"stage,omitempty"`
 	// StageDone/StageTotal are the progress within Stage (e.g. suites
 	// measured out of suites requested).
@@ -152,6 +152,12 @@ type Snapshot struct {
 	CreatedAt  string `json:"created_at"`
 	StartedAt  string `json:"started_at,omitempty"`
 	FinishedAt string `json:"finished_at,omitempty"`
+
+	// Instructions is the simulated-instruction count retired on behalf
+	// of this job so far (0 for replays and pure cache hits). A fleet
+	// worker reports it back to the coordinator with the result, so the
+	// coordinator's throughput EWMA reflects remote work.
+	Instructions uint64 `json:"instructions,omitempty"`
 
 	Error     *ErrorInfo `json:"error,omitempty"`
 	HasResult bool       `json:"has_result"`
@@ -173,6 +179,10 @@ type Handle struct {
 
 // Request returns the normalized request being executed.
 func (h *Handle) Request() Request { return h.job.req }
+
+// Key returns the job's content address — what a fleet coordinator
+// hashes onto the ring to pick the owning node.
+func (h *Handle) Key() string { return h.job.key }
 
 // SetStage enters a named stage with the given work-item total.
 func (h *Handle) SetStage(name string, total int) {
@@ -249,6 +259,11 @@ type Queue struct {
 	// analogue of BENCH_simulator.json's instr/sec trajectory.
 	instrPerSec float64
 	haveInstrPS bool
+	// execJobs/execSeconds count jobs that actually executed (not
+	// replays) and their total run seconds — the fallback basis for the
+	// Retry-After estimate when no instruction rate is known yet.
+	execJobs    int
+	execSeconds float64
 }
 
 // New starts a queue with opt.Workers workers executing run.
@@ -455,6 +470,12 @@ func (q *Queue) finishLocked(j *Job, s State, err error) {
 			}
 		}
 	}
+	if !j.replayed && !j.startedAt.IsZero() {
+		q.execJobs++
+		if d := j.finishedAt.Sub(j.startedAt).Seconds(); d > 0 {
+			q.execSeconds += d
+		}
+	}
 	close(j.done)
 	elapsed := j.finishedAt.Sub(j.createdAt)
 	switch {
@@ -468,22 +489,23 @@ func (q *Queue) finishLocked(j *Job, s State, err error) {
 // snapshotLocked renders the client view of j.
 func (q *Queue) snapshotLocked(j *Job) Snapshot {
 	s := Snapshot{
-		ID:         j.id,
-		Key:        j.key,
-		Kind:       j.req.Kind,
-		Group:      j.req.Group,
-		Suites:     append([]string(nil), j.req.Suites...),
-		State:      j.state,
-		Stage:      j.stage,
-		StageDone:  j.stageDone,
-		StageTotal: j.stageTotal,
-		Replayed:   j.replayed,
-		Deduped:    j.deduped,
-		CreatedAt:  stamp(j.createdAt),
-		StartedAt:  stamp(j.startedAt),
-		FinishedAt: stamp(j.finishedAt),
-		Error:      j.err,
-		HasResult:  j.result != nil,
+		ID:           j.id,
+		Key:          j.key,
+		Kind:         j.req.Kind,
+		Group:        j.req.Group,
+		Suites:       append([]string(nil), j.req.Suites...),
+		State:        j.state,
+		Stage:        j.stage,
+		StageDone:    j.stageDone,
+		StageTotal:   j.stageTotal,
+		Replayed:     j.replayed,
+		Deduped:      j.deduped,
+		CreatedAt:    stamp(j.createdAt),
+		StartedAt:    stamp(j.startedAt),
+		FinishedAt:   stamp(j.finishedAt),
+		Instructions: j.instr.Load(),
+		Error:        j.err,
+		HasResult:    j.result != nil,
 	}
 	if j.req.Trace != nil {
 		s.Trace = j.req.Trace.Name
@@ -632,6 +654,41 @@ func (q *Queue) SimulatedInstrPerSec() float64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.instrPerSec
+}
+
+// RetryAfter estimates how long a rejected submitter should wait before
+// the queue has likely absorbed its backlog — the value behind the 429
+// Retry-After header. The estimate is queue depth times the expected
+// per-job seconds, divided by the service parallelism: parallel > 0
+// overrides the queue's own worker count (a fleet coordinator passes the
+// fleet's aggregate worker capacity, which is what makes the hint
+// fleet-aware). Per-job seconds come from the instr/sec EWMA gauge and
+// the average instructions a completed job retired; with no history yet
+// the floor answer is returned. The result is clamped to [1s, 5m] so the
+// header is always sane.
+func (q *Queue) RetryAfter(parallel int) time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if parallel <= 0 {
+		parallel = q.opt.Workers
+	}
+	perJob := 1.0
+	switch {
+	case q.haveInstrPS && q.instrPerSec > 0 && q.execJobs > 0:
+		avgInstr := float64(q.retired.Load()) / float64(q.execJobs)
+		perJob = avgInstr / q.instrPerSec
+	case q.execJobs > 0:
+		perJob = q.execSeconds / float64(q.execJobs)
+	}
+	wait := perJob * (float64(q.counts[StateQueued])/float64(parallel) + 1)
+	const minWait, maxWait = 1.0, 300.0
+	if wait < minWait {
+		wait = minWait
+	}
+	if wait > maxWait {
+		wait = maxWait
+	}
+	return time.Duration(wait * float64(time.Second))
 }
 
 // requestKeySchema folds into every request key, so a change to the key

@@ -1,0 +1,40 @@
+package jobs
+
+import (
+	"context"
+
+	"perspector/internal/store"
+)
+
+// Dispatcher hands a job to whichever fleet node owns its content key
+// and blocks until the result streams back (or ctx is cancelled). The
+// returned instruction count is what the executing node retired on the
+// job's behalf, so the coordinator's throughput accounting stays honest
+// about remote work. internal/fleet's Coordinator is the production
+// implementation.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, key string, req Request) (store.ScoreSet, uint64, error)
+}
+
+// RemoteRunner returns the coordinator-side Runner: instead of measuring
+// and scoring locally, the job is routed through d to the fleet node
+// that owns its key. Everything the local queue already provides —
+// content-addressed dedup, replay from the durable store, cancellation,
+// drain — wraps around this Runner unchanged, which is exactly what
+// makes those behaviours fleet-wide: a duplicate submission folds at the
+// coordinator before a dispatch ever exists, and a stored result replays
+// without touching the network.
+func RemoteRunner(d Dispatcher) Runner {
+	return func(ctx context.Context, h *Handle) (store.ScoreSet, error) {
+		h.SetStage("dispatch", 1)
+		set, instr, err := d.Dispatch(ctx, h.Key(), h.Request())
+		if err != nil {
+			return store.ScoreSet{}, err
+		}
+		if instr > 0 {
+			h.AddInstructions(instr)
+		}
+		h.Advance(1)
+		return set, nil
+	}
+}

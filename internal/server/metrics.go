@@ -25,17 +25,44 @@ type Metrics struct {
 	// the two series a rate() / quantile-free latency panel needs.
 	latencySum   map[string]float64
 	latencyCount map[string]int64
-	started      time.Time
+	// quotaRejections counts 429s from per-tenant quotas, by tenant
+	// (capped; unseen tenants past the cap fold into "_other").
+	quotaRejections map[string]int64
+	// backpressureRejections counts queue-full 429s.
+	backpressureRejections int64
+	started                time.Time
 }
+
+// maxTenantSeries bounds the tenant label cardinality of the quota
+// counter, mirroring fleet.TenantLimiter's bucket-table cap.
+const maxTenantSeries = 1024
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests:     make(map[string]map[int]int64),
-		latencySum:   make(map[string]float64),
-		latencyCount: make(map[string]int64),
-		started:      time.Now(),
+		requests:        make(map[string]map[int]int64),
+		latencySum:      make(map[string]float64),
+		latencyCount:    make(map[string]int64),
+		quotaRejections: make(map[string]int64),
+		started:         time.Now(),
 	}
+}
+
+// ObserveQuotaRejection records one tenant-quota 429.
+func (m *Metrics) ObserveQuotaRejection(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, seen := m.quotaRejections[tenant]; !seen && len(m.quotaRejections) >= maxTenantSeries {
+		tenant = "_other"
+	}
+	m.quotaRejections[tenant]++
+}
+
+// ObserveBackpressureRejection records one queue-full 429.
+func (m *Metrics) ObserveBackpressureRejection() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.backpressureRejections++
 }
 
 // ObserveRequest records one served request.
@@ -59,6 +86,9 @@ type requestSnapshot struct {
 	requests     map[string]map[int]int64
 	latencySum   map[string]float64
 	latencyCount map[string]int64
+	tenants      []string
+	quota        map[string]int64
+	backpressure int64
 	uptime       float64
 }
 
@@ -85,6 +115,13 @@ func (m *Metrics) snapshot() requestSnapshot {
 		s.latencyCount[route] = m.latencyCount[route]
 	}
 	sort.Strings(s.routes)
+	s.quota = make(map[string]int64, len(m.quotaRejections))
+	for tenant, n := range m.quotaRejections {
+		s.tenants = append(s.tenants, tenant)
+		s.quota[tenant] = n
+	}
+	sort.Strings(s.tenants)
+	s.backpressure = m.backpressureRejections
 	return s
 }
 
@@ -138,6 +175,14 @@ func (m *Metrics) Write(w io.Writer, q *jobs.Queue, st *store.Store, cs *cache.S
 		fmt.Fprintf(w, "perspectord_request_duration_seconds_sum{route=%q} %g\n", route, s.latencySum[route])
 		fmt.Fprintf(w, "perspectord_request_duration_seconds_count{route=%q} %d\n", route, s.latencyCount[route])
 	}
+	fmt.Fprintln(w, "# HELP perspectord_quota_rejections_total Submissions rejected by per-tenant quota, by tenant.")
+	fmt.Fprintln(w, "# TYPE perspectord_quota_rejections_total counter")
+	for _, tenant := range s.tenants {
+		fmt.Fprintf(w, "perspectord_quota_rejections_total{tenant=%q} %d\n", tenant, s.quota[tenant])
+	}
+	fmt.Fprintln(w, "# HELP perspectord_backpressure_rejections_total Submissions rejected because the queue was full.")
+	fmt.Fprintln(w, "# TYPE perspectord_backpressure_rejections_total counter")
+	fmt.Fprintf(w, "perspectord_backpressure_rejections_total %d\n", s.backpressure)
 
 	if q != nil {
 		counts := q.Counts()

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -44,6 +45,7 @@ import (
 
 	"perspector/internal/buildinfo"
 	"perspector/internal/cache"
+	"perspector/internal/fleet"
 	"perspector/internal/jobs"
 	"perspector/internal/store"
 	"perspector/internal/suites"
@@ -62,6 +64,23 @@ type Config struct {
 	Log *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+
+	// Role is the node's fleet role — "single" (default), "coordinator"
+	// or "worker" — reported on /healthz.
+	Role string
+	// NodeID names this node in the fleet; empty in single mode.
+	NodeID string
+	// Coordinator, when set, mounts the /api/v1/fleet endpoints, adds
+	// fleet gauges to /metrics, and makes queue-full Retry-After
+	// estimates fleet-capacity-aware.
+	Coordinator *fleet.Coordinator
+	// Quota applies per-tenant token-bucket admission control to job
+	// submission, keyed by the X-Tenant header; nil admits everything.
+	Quota *fleet.TenantLimiter
+	// Peers reports the fleet size for /healthz on nodes that are not
+	// the coordinator (a worker's view of the cluster); when nil, the
+	// Coordinator's membership table is consulted instead.
+	Peers func() int
 }
 
 // Server is the assembled handler; build with New.
@@ -87,6 +106,14 @@ func New(cfg Config) *Server {
 	s.handle("GET /api/v1/suites", s.handleSuites)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
+	if cfg.Coordinator != nil {
+		s.handle("POST /api/v1/fleet/join", s.handleFleetJoin)
+		s.handle("POST /api/v1/fleet/heartbeat", s.handleFleetHeartbeat)
+		s.handle("POST /api/v1/fleet/pull", s.handleFleetPull)
+		s.handle("POST /api/v1/fleet/results", s.handleFleetResults)
+		s.handle("POST /api/v1/fleet/leave", s.handleFleetLeave)
+		s.handle("GET /api/v1/fleet", s.handleFleetStatus)
+	}
 	if cfg.EnablePprof {
 		s.handle("GET /debug/pprof/", pprof.Index)
 		s.handle("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -171,7 +198,26 @@ type submitResponse struct {
 // base64 and JSON envelope overhead.
 const maxBodyBytes = jobs.MaxTraceBytes*4/3 + 1<<20
 
+// retryAfterSeconds renders a duration as a whole-second Retry-After
+// value, rounding up so clients never come back early.
+func retryAfterSeconds(d time.Duration) string {
+	return fmt.Sprintf("%d", int64(math.Ceil(d.Seconds())))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Per-tenant quota runs before the body is even read: a throttled
+	// tenant costs one header lookup, not a decode of a multi-megabyte
+	// trace upload.
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	if ok, retry := s.cfg.Quota.Allow(tenant); !ok {
+		s.metrics.ObserveQuotaRejection(tenant)
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		s.writeError(w, http.StatusTooManyRequests, "tenant %q is over its submission quota", tenant)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req jobs.Request
 	dec := json.NewDecoder(r.Body)
@@ -201,6 +247,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	snap, deduped, err := s.cfg.Queue.Submit(req)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
+		// Retry-After estimates when a slot frees from queue depth and
+		// the instr/sec EWMA; on a coordinator the fleet's aggregate
+		// capacity is the parallelism, so adding workers shortens it.
+		parallel := 0
+		if s.cfg.Coordinator != nil {
+			parallel = s.cfg.Coordinator.Capacity()
+		}
+		s.metrics.ObserveBackpressureRejection()
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Queue.RetryAfter(parallel)))
 		s.writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, jobs.ErrDraining):
@@ -322,15 +377,34 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	role := s.cfg.Role
+	if role == "" {
+		role = "single"
+	}
+	peers := 0
+	switch {
+	case s.cfg.Peers != nil:
+		peers = s.cfg.Peers()
+	case s.cfg.Coordinator != nil:
+		peers = s.cfg.Coordinator.Peers()
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"build":      buildinfo.Read(),
 		"goroutines": runtime.NumGoroutine(),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"node": map[string]any{
+			"role":  role,
+			"id":    s.cfg.NodeID,
+			"peers": peers,
+		},
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.Write(w, s.cfg.Queue, s.cfg.Store, s.cfg.Cache)
+	if s.cfg.Coordinator != nil {
+		writeFleetMetrics(w, s.cfg.Coordinator.Status())
+	}
 }

@@ -142,6 +142,9 @@ func TestMetricsExpositionGolden(t *testing.T) {
 		series("perspectord_request_duration_seconds_sum{route=%q}", route)
 		series("perspectord_request_duration_seconds_count{route=%q}", route)
 	}
+	// Quota rejections emit no series until a tenant is throttled; the
+	// backpressure counter is always exposed.
+	series("perspectord_backpressure_rejections_total")
 	for _, state := range jobs.States() {
 		series("perspectord_jobs{state=%q}", string(state))
 	}

@@ -1,0 +1,226 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stampedRecord builds a distinguishable record for key at a given
+// virtual time; Cluster carries the serial so divergent winners are
+// visible in failures.
+func stampedRecord(key string, serial int) Record {
+	set := sampleSet(KindScore, "parsec")
+	set.Suites[0].Cluster = float64(serial)
+	at := time.Date(2026, 8, 7, 12, 0, 0, serial*1000, time.UTC).Format(time.RFC3339Nano)
+	return Record{Key: key, At: at, Set: set}
+}
+
+// newestPerKey is the reference semantics: the record with the greatest
+// (At, rendered-set) pair wins per key, independent of order.
+func newestPerKey(recs []Record) map[string]Record {
+	want := make(map[string]Record)
+	for _, r := range recs {
+		cur, ok := want[r.Key]
+		if !ok || supersedes(r, cur.At, cur.Set) {
+			want[r.Key] = r
+		}
+	}
+	return want
+}
+
+// interleavings enumerates every merge of a and b that preserves each
+// log's internal order — the set of byte streams two replicas can
+// produce when replaying one another.
+func interleavings(a, b []Record) [][]Record {
+	if len(a) == 0 {
+		return [][]Record{append([]Record(nil), b...)}
+	}
+	if len(b) == 0 {
+		return [][]Record{append([]Record(nil), a...)}
+	}
+	var out [][]Record
+	for _, tail := range interleavings(a[1:], b) {
+		out = append(out, append([]Record{a[0]}, tail...))
+	}
+	for _, tail := range interleavings(a, b[1:]) {
+		out = append(out, append([]Record{b[0]}, tail...))
+	}
+	return out
+}
+
+// writeLog renders records as a results.jsonl under a fresh directory,
+// optionally tearing the final line in half (the only corruption an
+// append-only log can suffer from a crash).
+func writeLog(t *testing.T, recs []Record, torn bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	var sb strings.Builder
+	for i, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if torn && i == len(recs)-1 {
+			sb.Write(line[:len(line)/2])
+			break
+		}
+		sb.Write(line)
+		sb.WriteString("\n")
+	}
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// indexOf opens dir and snapshots key → record for comparison.
+func indexOf(t *testing.T, dir string) map[string]Record {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	out := make(map[string]Record)
+	for _, r := range st.Records() {
+		out[r.Key] = r
+	}
+	return out
+}
+
+// TestReplicationInterleavingsConverge is the replication property test:
+// two nodes each hold a JSONL log; replaying ANY interleaving of the two
+// logs — every order in which replicated lines could have been appended
+// — must converge to the same newest-per-key index, including when the
+// final line of the merged log was torn by a crash.
+func TestReplicationInterleavingsConverge(t *testing.T) {
+	logA := []Record{
+		stampedRecord("k1", 1),
+		stampedRecord("k2", 5),
+		stampedRecord("k3", 3),
+	}
+	logB := []Record{
+		stampedRecord("k1", 4), // newer k1 than A's
+		stampedRecord("k2", 2), // older k2 than A's
+		stampedRecord("k4", 6),
+	}
+	want := newestPerKey(append(append([]Record(nil), logA...), logB...))
+
+	merges := interleavings(logA, logB)
+	if len(merges) != 20 { // C(6,3)
+		t.Fatalf("expected 20 interleavings, got %d", len(merges))
+	}
+	for i, merged := range merges {
+		got := indexOf(t, writeLog(t, merged, false))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("interleaving %d diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+
+		// Torn tail: the last line is half-written. The surviving records
+		// must still resolve to newest-per-key over what remains.
+		tornWant := newestPerKey(merged[:len(merged)-1])
+		got = indexOf(t, writeLog(t, merged, true))
+		if !reflect.DeepEqual(got, tornWant) {
+			t.Fatalf("torn interleaving %d diverged:\n got %+v\nwant %+v", i, got, tornWant)
+		}
+	}
+}
+
+// TestReplicationApplyConverges drives the live path: two stores start
+// from different local histories and apply each other's records in
+// opposite orders; both must end with identical indexes, and a second
+// application of the same records must change nothing (idempotence).
+func TestReplicationApplyConverges(t *testing.T) {
+	mkStore := func(recs []Record) *Store {
+		st, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if _, err := st.Apply(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st
+	}
+	logA := []Record{stampedRecord("k1", 1), stampedRecord("k2", 5)}
+	logB := []Record{stampedRecord("k1", 4), stampedRecord("k3", 2)}
+
+	stA := mkStore(logA)
+	defer stA.Close()
+	stB := mkStore(logB)
+	defer stB.Close()
+
+	// Cross-apply: B's records to A in order, A's merged view to B in
+	// reverse order.
+	for _, r := range stB.Records() {
+		if _, err := stA.Apply(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recsA := stA.Records()
+	for i := len(recsA) - 1; i >= 0; i-- {
+		if _, err := stB.Apply(recsA[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := func(st *Store) map[string]Record {
+		out := make(map[string]Record)
+		for _, r := range st.Records() {
+			out[r.Key] = r
+		}
+		return out
+	}
+	a, b := snap(stA), snap(stB)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replicas diverged:\n A %+v\n B %+v", a, b)
+	}
+	want := newestPerKey(append(append([]Record(nil), logA...), logB...))
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("converged index is not newest-per-key:\n got %+v\nwant %+v", a, want)
+	}
+
+	// Idempotence: re-applying everything must be a pure no-op, down to
+	// the log file size.
+	size := func(st *Store) int64 {
+		fi, err := st.f.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	before := size(stA)
+	for _, r := range stB.Records() {
+		applied, err := stA.Apply(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied {
+			t.Fatalf("re-apply of %s/%s reported applied", r.Key, r.At)
+		}
+	}
+	if after := size(stA); after != before {
+		t.Fatalf("idempotent re-apply grew the log: %d -> %d", before, after)
+	}
+}
+
+// TestApplyRejectsUnstamped pins that replication refuses records whose
+// origin time was lost — ranking them would depend on arrival order.
+func TestApplyRejectsUnstamped(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rec := stampedRecord("k1", 1)
+	rec.At = ""
+	if _, err := st.Apply(rec); err == nil {
+		t.Fatal("Apply accepted a record without a timestamp")
+	}
+}

@@ -42,6 +42,12 @@ type Summary struct {
 // record for a key wins on Get, so re-running a request after a schema
 // bump simply shadows the old result.
 //
+// "Newest" is decided by the record's At timestamp, not by log
+// position: with a deterministic tie-break for equal timestamps, the
+// index is a pure function of the *set* of records replayed, so two
+// nodes that apply each other's records in any interleaving — the fleet
+// replication path (Apply) — converge to the same newest-per-key view.
+//
 // A nil *Store is a valid pass-through: Put is a no-op, Get always
 // misses, List is empty — callers thread one variable through
 // "no store configured" paths.
@@ -103,14 +109,40 @@ func Open(dir string) (*Store, error) {
 	return st, nil
 }
 
-// add indexes one replayed or freshly appended record. Caller holds mu
-// (or is Open, before the store escapes).
+// add indexes one replayed or freshly appended record, keeping the
+// newest record per key. Caller holds mu (or is Open, before the store
+// escapes).
 func (st *Store) add(rec Record) {
-	if _, seen := st.index[rec.Key]; !seen {
+	at, seen := st.at[rec.Key]
+	if !seen {
 		st.order = append(st.order, rec.Key)
+	} else if !supersedes(rec, at, st.index[rec.Key]) {
+		return
 	}
 	st.index[rec.Key] = rec.Set
 	st.at[rec.Key] = rec.At
+}
+
+// supersedes reports whether rec should shadow the indexed (at, set)
+// entry for its key. Later At wins; an equal At falls back to comparing
+// the rendered documents, so the verdict depends only on the two records
+// — never on which arrived first. Unparseable timestamps (hand-edited
+// logs) compare as strings, which for RFC 3339 UTC is date order.
+func supersedes(rec Record, at string, set ScoreSet) bool {
+	ta, errA := time.Parse(time.RFC3339Nano, rec.At)
+	tb, errB := time.Parse(time.RFC3339Nano, at)
+	if errA == nil && errB == nil {
+		if !ta.Equal(tb) {
+			return ta.After(tb)
+		}
+	} else if rec.At != at {
+		return rec.At > at
+	}
+	// Same instant: deterministic content tie-break. Identical documents
+	// need no replacement either way.
+	recJSON, _ := json.Marshal(rec.Set)
+	oldJSON, _ := json.Marshal(set)
+	return string(recJSON) > string(oldJSON)
 }
 
 // Put appends the document under its content address. The line is
@@ -120,25 +152,72 @@ func (st *Store) Put(key string, set ScoreSet) error {
 	if st == nil {
 		return nil
 	}
-	if key == "" {
-		return fmt.Errorf("store: empty key")
-	}
-	if err := set.Validate(); err != nil {
-		return err
-	}
 	rec := Record{Key: key, At: time.Now().UTC().Format(time.RFC3339Nano), Set: set}
+	_, err := st.append(rec, false)
+	return err
+}
+
+// Apply appends a record replicated from another node, preserving its
+// original timestamp so every replica ranks it identically. It is
+// idempotent: a record that would not supersede the indexed one for its
+// key (it is older, or the identical document) is skipped without
+// touching the log, so replaying a peer's full log over and over leaves
+// both the index and the file unchanged. The bool reports whether the
+// record was applied.
+func (st *Store) Apply(rec Record) (bool, error) {
+	if st == nil {
+		return false, nil
+	}
+	if rec.At == "" {
+		return false, fmt.Errorf("store: replicated record without a timestamp")
+	}
+	return st.append(rec, true)
+}
+
+// append writes one record to the log and index. When onlyNewer is set
+// the write is skipped unless the record supersedes the current index
+// entry for its key.
+func (st *Store) append(rec Record, onlyNewer bool) (bool, error) {
+	if rec.Key == "" {
+		return false, fmt.Errorf("store: empty key")
+	}
+	if err := rec.Set.Validate(); err != nil {
+		return false, err
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	line = append(line, '\n')
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if onlyNewer {
+		if at, seen := st.at[rec.Key]; seen && !supersedes(rec, at, st.index[rec.Key]) {
+			return false, nil
+		}
+	}
 	if _, err := st.f.Write(line); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	st.add(rec)
-	return nil
+	return true, nil
+}
+
+// Records returns the newest record per key, in first-seen key order —
+// the snapshot a coordinator streams to a joining worker as backfill.
+// Applying the result to any store is a no-op for every record it
+// already holds.
+func (st *Store) Records() []Record {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Record, 0, len(st.order))
+	for _, key := range st.order {
+		out = append(out, Record{Key: key, At: st.at[key], Set: st.index[key]})
+	}
+	return out
 }
 
 // Get returns the newest document stored under key.
