@@ -13,6 +13,7 @@ package perspector_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"perspector/internal/dtw"
 	"perspector/internal/lhs"
 	"perspector/internal/mat"
+	"perspector/internal/metric"
 	"perspector/internal/obs"
 	"perspector/internal/pca"
 	"perspector/internal/perf"
@@ -645,3 +647,98 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 		b.ReportMetric(covPf/covBase, "prefetch/base-coverage")
 	}
 }
+
+// --- Incremental scoring A/B (streaming-score acceptance pair) ---
+
+// benchStreamMeasurement fabricates a deterministic measurement with n
+// workloads, each carrying totals and a samples-long delta series per
+// counter — the shape a perspectord stream accumulates chunk by chunk.
+func benchStreamMeasurement(seed uint64, n, samples int) *perf.SuiteMeasurement {
+	src := rng.New(seed)
+	sm := &perf.SuiteMeasurement{Suite: "streambench"}
+	for i := 0; i < n; i++ {
+		m := perf.Measurement{Workload: fmt.Sprintf("w%02d", i)}
+		m.Series.Interval = 1000
+		for c := 0; c < int(perf.NumCounters); c++ {
+			m.Totals[perf.Counter(c)] = uint64(src.Intn(50000))
+			for s := 0; s < samples; s++ {
+				m.Series.Samples[perf.Counter(c)] = append(
+					m.Series.Samples[perf.Counter(c)], float64(src.Intn(2000)))
+			}
+		}
+		sm.Workloads = append(sm.Workloads, m)
+	}
+	return sm
+}
+
+// BenchmarkFullRescore is the batch baseline of the incremental A/B
+// pair: one op scores a fixed 64-workload measurement from scratch —
+// the cost a streaming client would pay per chunk without the
+// incremental engine.
+func BenchmarkFullRescore(b *testing.B) {
+	sm := benchStreamMeasurement(2023, 64, 64)
+	opts := perspector.DefaultOptions()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metric.ScoreSuites(ctx, []*perf.SuiteMeasurement{sm}, opts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchIncrementalAppend is the shared body of the incremental append
+// benchmarks: a run already holding the 64-workload measurement with
+// every artifact cached, where one op appends a chunk to one workload
+// and rescores. withTotals selects whether the chunk carries a counter
+// totals delta alongside its series samples.
+func benchIncrementalAppend(b *testing.B, withTotals bool) {
+	sm := benchStreamMeasurement(2023, 64, 64)
+	opts := perspector.DefaultOptions()
+	ctx := context.Background()
+	run, err := metric.NewIncrementalRun([]*perf.SuiteMeasurement{sm}, opts, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Build every cache once; the benchmark starts in the steady state.
+	if _, err := run.Scores(ctx); err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, len(run.Measurement(0).Workloads))
+	for i := range names {
+		names[i] = run.Measurement(0).Workloads[i].Workload
+	}
+	src := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var delta perf.Values
+		tail := &perf.TimeSeries{Interval: 1000}
+		for c := 0; c < int(perf.NumCounters); c++ {
+			if withTotals {
+				delta[perf.Counter(c)] = uint64(src.Intn(500))
+			}
+			tail.Samples[perf.Counter(c)] = []float64{
+				float64(src.Intn(2000)), float64(src.Intn(2000))}
+		}
+		if err := run.AppendSamples(0, names[i%len(names)], delta, tail); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := run.Scores(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalAppend measures the steady state of the streaming
+// path: one op appends a sample chunk (two series samples per counter)
+// to one workload and rescores. The counter matrix is untouched, so the
+// cluster/coverage/spread results stay memoized and only the touched
+// row's DTW pair distances recompute; the property test in
+// internal/metric pins each update bit-identical to the batch path.
+func BenchmarkIncrementalAppend(b *testing.B) { benchIncrementalAppend(b, false) }
+
+// BenchmarkIncrementalAppendTotals is the worst-case chunk: a counter
+// totals delta rides along with the samples, so the normalization
+// bounds, the distance matrix and every totals-derived metric (the full
+// k-means sweep included) recompute alongside the DTW row.
+func BenchmarkIncrementalAppendTotals(b *testing.B) { benchIncrementalAppend(b, true) }

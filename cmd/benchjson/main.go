@@ -14,6 +14,10 @@
 // caused it; SimulateSuiteTotalsOnly measures the counters-only fast
 // path against the full sampled run, and StreamIngest measures the
 // streaming instruction-log reader (parsed records per second).
+// FullRescore and IncrRescore are the incremental-scoring A/B pair: the
+// cost of batch-scoring a 64-workload measurement from scratch versus
+// appending one sample chunk to it and rescoring through the
+// incremental engine (the perspectord streaming-score hot path).
 //
 // Each run also appends one line to BENCH_history.jsonl (disable with
 // -history ""): the same report plus the git commit, so the repository
@@ -41,8 +45,12 @@ import (
 	"testing"
 	"time"
 
+	"context"
+
 	perspector "perspector"
 	"perspector/internal/buildinfo"
+	"perspector/internal/metric"
+	"perspector/internal/perf"
 	"perspector/internal/rng"
 	"perspector/internal/trace"
 	"perspector/internal/uarch"
@@ -125,6 +133,8 @@ func main() {
 		{"SimulateSuiteTotalsOnly", suiteInstr, 1, benchSimulateSuiteTotalsOnly},
 		{"SimulateWorkload", workloadInstr, 1, benchSimulateWorkload},
 		{"StreamIngest", streamInstr, 1, benchStreamIngest},
+		{"FullRescore", nil, 1, benchFullRescore},
+		{"IncrRescore", nil, 1, benchIncrRescore},
 		{"MachineStep", func() uint64 { return 1 }, 1, benchMachineStep},
 		{"CacheAccess", nil, 1, benchCacheAccess},
 		{"TLBTranslate", nil, 1, benchTLBTranslate},
@@ -346,6 +356,77 @@ func benchStreamIngest(b *testing.B) {
 	}
 	if total != perBlock*b.N {
 		b.Fatalf("parsed %d records, want %d", total, perBlock*b.N)
+	}
+}
+
+// rescoreMeasurement fabricates the fixed 64-workload measurement the
+// FullRescore/IncrRescore pair scores — the same shape bench_test.go's
+// benchStreamMeasurement builds, kept in lockstep so the committed
+// numbers stay comparable with `go test -bench`.
+func rescoreMeasurement() *perf.SuiteMeasurement {
+	src := rng.New(2023)
+	sm := &perf.SuiteMeasurement{Suite: "streambench"}
+	for i := 0; i < 64; i++ {
+		m := perf.Measurement{Workload: fmt.Sprintf("w%02d", i)}
+		m.Series.Interval = 1000
+		for c := 0; c < int(perf.NumCounters); c++ {
+			m.Totals[perf.Counter(c)] = uint64(src.Intn(50000))
+			for s := 0; s < 64; s++ {
+				m.Series.Samples[perf.Counter(c)] = append(
+					m.Series.Samples[perf.Counter(c)], float64(src.Intn(2000)))
+			}
+		}
+		sm.Workloads = append(sm.Workloads, m)
+	}
+	return sm
+}
+
+// benchFullRescore scores the fixed measurement from scratch every op —
+// what a streaming client would pay per chunk without the incremental
+// engine.
+func benchFullRescore(b *testing.B) {
+	sm := rescoreMeasurement()
+	opts := metric.DefaultOptions()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metric.ScoreSuites(ctx, []*perf.SuiteMeasurement{sm}, opts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchIncrRescore measures the streaming steady state: the run already
+// holds the measurement, one op appends a sample chunk (two series
+// samples per counter) to one workload and rescores incrementally.
+func benchIncrRescore(b *testing.B) {
+	run, err := metric.NewIncrementalRun(
+		[]*perf.SuiteMeasurement{rescoreMeasurement()}, metric.DefaultOptions(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := run.Scores(ctx); err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, len(run.Measurement(0).Workloads))
+	for i := range names {
+		names[i] = run.Measurement(0).Workloads[i].Workload
+	}
+	src := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tail := &perf.TimeSeries{Interval: 1000}
+		for c := 0; c < int(perf.NumCounters); c++ {
+			tail.Samples[perf.Counter(c)] = []float64{
+				float64(src.Intn(2000)), float64(src.Intn(2000))}
+		}
+		if err := run.AppendSamples(0, names[i%len(names)], perf.Values{}, tail); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := run.Scores(ctx); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

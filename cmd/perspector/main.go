@@ -42,6 +42,8 @@
 //	perspector export -suite nbench -o trace.json [-format json|csv]
 //	perspector score-file -f trace.json [-format json|csv] [-name imported]
 //	    Archive measurements and score external (e.g. perf-derived) data.
+//	    With -follow the file is tailed: every appended workload or sample
+//	    chunk is rescored incrementally and printed as it lands.
 //
 // Every command that takes -suite also accepts -suite-file <spec.json>
 // to operate on a user-authored declarative suite instead of a
@@ -60,6 +62,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"perspector"
 	"perspector/internal/buildinfo"
@@ -135,6 +138,7 @@ commands:
   baseline  run the prior-work pipeline (PCA + hierarchical clustering)
   export    measure a suite and write a portable JSON trace
   score-file score measurements from a JSON trace or totals CSV
+            (-follow tails the file and rescores incrementally)
   redundancy report strongly correlated (droppable) PMU counters
   validate  check declarative suite-spec files without simulating
   version   print the build version and Go runtime
@@ -594,6 +598,9 @@ func runScoreFile(args []string) error {
 	path := fs.String("f", "", "trace file (required)")
 	format := fs.String("format", "json", "input format: json or csv")
 	suiteName := fs.String("name", "imported", "suite name for csv input")
+	follow := fs.Bool("follow", false, "tail the file: rescore incrementally as it grows, one table row per change (stop with Ctrl-C or -timeout)")
+	poll := fs.Duration("poll", time.Second, "file poll interval under -follow")
+	maxUpdates := fs.Int("max-updates", 0, "stop -follow after this many score updates (0 = until interrupted)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -613,6 +620,28 @@ func runScoreFile(args []string) error {
 	}
 	defer d.Close()
 	src := source.TraceFile{Path: *path, Format: *format, SuiteName: *suiteName}
+	if *follow {
+		// Each observed change feeds the incremental engine as an append
+		// (new workloads, grown totals, longer series) and is rescored at
+		// delta cost — bit-identical to batch-scoring the file as it
+		// stands; rewrites of history fall back to an exact rebuild.
+		return cli.FollowScores(d.Context(), cli.FollowOptions{
+			Parse: func() (*perf.SuiteMeasurement, error) {
+				return src.Measure(d.Context(), perspector.Suite{})
+			},
+			Stat: func() (string, error) {
+				fi, err := os.Stat(*path)
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("%d-%d", fi.Size(), fi.ModTime().UnixNano()), nil
+			},
+			Opts:       opts,
+			Poll:       *poll,
+			Out:        stdout,
+			MaxUpdates: *maxUpdates,
+		})
+	}
 	m, err := src.Measure(d.Context(), perspector.Suite{})
 	if err != nil {
 		return err

@@ -255,6 +255,24 @@ func TestRunExportScoreFileRoundTrip(t *testing.T) {
 	if !strings.Contains(out, "TrendScore unavailable") {
 		t.Errorf("csv score-file output:\n%s", out)
 	}
+
+	// -follow over the static file: one incremental update, bit-identical
+	// to the one-shot batch row above.
+	batch := capture(t, func() error {
+		return runScoreFile([]string{"-f", path})
+	})
+	followOut := capture(t, func() error {
+		return runScoreFile([]string{"-f", path, "-follow", "-max-updates", "1", "-poll", "10ms"})
+	})
+	var batchRow string
+	for _, line := range strings.Split(batch, "\n") {
+		if strings.HasPrefix(line, "nbench") {
+			batchRow = line
+		}
+	}
+	if batchRow == "" || !strings.Contains(followOut, batchRow) {
+		t.Errorf("-follow row diverges from batch:\nbatch:\n%s\nfollow:\n%s", batch, followOut)
+	}
 }
 
 // TestRunScoreTimeout drives the -timeout satellite end to end in

@@ -17,6 +17,15 @@
 //	curl -s 'localhost:8080/api/v1/jobs/j-000001/result?wait=1'
 //	curl -s -X DELETE localhost:8080/api/v1/jobs/j-000002
 //
+//	# stream measurement chunks and tail the evolving scores: each chunk
+//	# rescored incrementally, bit-identical to a batch run of the same data
+//	curl -s -X POST localhost:8080/api/v1/streams -d '{"suites": ["live"]}'
+//	curl -s -X POST localhost:8080/api/v1/streams/s-000001/chunks -d '{
+//	  "workloads": [{"name": "w0", "totals": [1200, 340, ...],
+//	                 "series": [[10, 20, 30], [1, 2, 3], ...]}]}'
+//	curl -s 'localhost:8080/api/v1/streams/s-000001/scores?since=0&wait=1'
+//	curl -s -X POST localhost:8080/api/v1/streams/s-000001/close
+//
 // # Fleet mode
 //
 // perspectord also runs as a coordinator/worker cluster. The
@@ -72,6 +81,7 @@ type options struct {
 	workers      int
 	jobWorkers   int
 	maxQueue     int
+	maxStreams   int
 	drainTimeout time.Duration
 	enablePprof  bool
 	logJSON      bool
@@ -95,6 +105,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.workers, "workers", 0, "engine parallelism per job (0 = all CPUs); results are identical at any count")
 	fs.IntVar(&o.jobWorkers, "jobs", 2, "jobs running concurrently")
 	fs.IntVar(&o.maxQueue, "max-queue", 64, "jobs allowed to wait in the queue")
+	fs.IntVar(&o.maxStreams, "max-streams", jobs.DefaultMaxStreams, "concurrent incremental-scoring streams")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long running jobs get to finish on shutdown")
 	fs.BoolVar(&o.enablePprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
 	fs.BoolVar(&o.logJSON, "log-json", false, "log in JSON instead of text")
@@ -184,6 +195,15 @@ func run(args []string) error {
 		Log:      log,
 	})
 
+	// Streams score pure measurement chunks (no simulation), so every
+	// role serves them locally: a coordinator does not route them into
+	// the fleet, and a worker serves whatever streams clients open on it.
+	streams := jobs.NewStreamManager(jobs.StreamOptions{
+		Store:      resultStore,
+		MaxStreams: o.maxStreams,
+		Log:        log,
+	})
+
 	var worker *fleet.Worker
 	if o.role == "worker" {
 		worker, err = fleet.NewWorker(fleet.WorkerOptions{
@@ -201,6 +221,7 @@ func run(args []string) error {
 
 	cfg := server.Config{
 		Queue:       queue,
+		Streams:     streams,
 		Store:       resultStore,
 		Cache:       cacheStore,
 		Log:         log,
@@ -247,6 +268,7 @@ func run(args []string) error {
 	case err := <-errc:
 		// The listener died before any signal; drain what we admitted.
 		queue.Drain(context.Background())
+		streams.Drain(context.Background())
 		return err
 	case <-ctx.Done():
 	}
@@ -263,8 +285,13 @@ func run(args []string) error {
 	// signal context already stopped its pulls, Run waits for in-flight
 	// dispatches (which the queue deadline bounds), pushes their results
 	// and leaves the fleet.
+	// Streams drain alongside the queue: open streams are sealed, their
+	// backlogged chunks apply, a final score version publishes and
+	// persists, and stragglers past the deadline are cancelled.
 	drained := make(chan error, 1)
 	go func() { drained <- queue.Drain(deadline) }()
+	streamsDrained := make(chan error, 1)
+	go func() { streamsDrained <- streams.Drain(deadline) }()
 	if workerDone != nil {
 		select {
 		case err := <-workerDone:
@@ -274,6 +301,9 @@ func run(args []string) error {
 		case <-deadline.Done():
 			log.Warn("fleet worker did not drain before the deadline")
 		}
+	}
+	if err := <-streamsDrained; err != nil {
+		log.Warn("drain cancelled open streams at deadline", "error", err)
 	}
 	if err := <-drained; err != nil {
 		log.Warn("drain cancelled running jobs at deadline", "error", err)

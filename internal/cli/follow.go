@@ -1,0 +1,219 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"perspector/internal/metric"
+	"perspector/internal/perf"
+)
+
+// FollowOptions configures FollowScores.
+type FollowOptions struct {
+	// Parse re-reads and parses the followed file into a measurement.
+	// Called once per poll that observed a file change.
+	Parse func() (*perf.SuiteMeasurement, error)
+	// Stat reports a change token for the file (e.g. size+mtime); polls
+	// whose token matches the previous one skip the re-parse. Nil means
+	// re-parse on every poll.
+	Stat func() (string, error)
+	// Opts are the scoring options.
+	Opts metric.Options
+	// Poll is the file poll interval; 0 means one second.
+	Poll time.Duration
+	// Out receives the score table: a header, then one row per update.
+	Out io.Writer
+	// MaxUpdates stops after that many published score rows; 0 follows
+	// until ctx ends.
+	MaxUpdates int
+}
+
+// FollowScores tails a growing trace/CSV file: whenever the file
+// changes, the new measurement is diffed against the accumulated one and
+// the difference — appended workloads, grown counter totals, appended
+// series samples — feeds a metric.IncrementalRun, so each update is
+// rescored at delta cost and printed as a table row, bit-identical to a
+// batch score of the file at that instant. A change that rewrites
+// history (a shrunk total, an edited series prefix, a removed workload)
+// cannot be expressed as an append; the run is rebuilt from scratch —
+// the exact-recompute fallback — and following continues.
+//
+// Returns nil when ctx ends (the natural exit: Ctrl-C or -timeout) or
+// when MaxUpdates rows have been printed.
+func FollowScores(ctx context.Context, o FollowOptions) error {
+	if o.Parse == nil {
+		return fmt.Errorf("cli: FollowScores needs a Parse function")
+	}
+	if o.Poll <= 0 {
+		o.Poll = time.Second
+	}
+	if o.Out == nil {
+		o.Out = os.Stdout
+	}
+	if err := o.Opts.Validate(); err != nil {
+		return err
+	}
+
+	var run *metric.IncrementalRun
+	updates := 0
+	lastToken := ""
+	first := true
+	ticker := time.NewTicker(o.Poll)
+	defer ticker.Stop()
+	for {
+		if !first {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-ticker.C:
+			}
+		}
+		first = false
+		if o.Stat != nil {
+			token, err := o.Stat()
+			if err != nil {
+				// The file may be mid-rotation; keep polling.
+				continue
+			}
+			if token == lastToken {
+				continue
+			}
+			lastToken = token
+		}
+		m, err := o.Parse()
+		if err != nil {
+			// A partially-written file parses again on a later poll.
+			continue
+		}
+		next, changed, rebuilt, err := followDiff(run, m, o.Opts)
+		if err != nil {
+			return err
+		}
+		run = next
+		if !changed {
+			continue
+		}
+		if rebuilt {
+			fmt.Fprintln(o.Out, "(input rewrote history: rebuilt from scratch, exact recompute)")
+		}
+		scores, err := run.Scores(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if updates == 0 {
+			ScoreHeader(o.Out)
+		}
+		ScoreRow(o.Out, scores[0])
+		updates++
+		if o.MaxUpdates > 0 && updates >= o.MaxUpdates {
+			return nil
+		}
+	}
+}
+
+// followDiff reconciles a freshly parsed measurement with the
+// accumulated run. It returns the run to continue with (the same one
+// grown in place, or a rebuilt one when cur cannot be reached from the
+// accumulated state by appends alone), whether anything changed, and
+// whether a rebuild happened.
+func followDiff(run *metric.IncrementalRun, cur *perf.SuiteMeasurement, opts metric.Options) (next *metric.IncrementalRun, changed, rebuilt bool, err error) {
+	rebuild := func() (*metric.IncrementalRun, bool, bool, error) {
+		r, err := metric.NewIncrementalRun([]*perf.SuiteMeasurement{cur}, opts, nil)
+		return r, len(cur.Workloads) > 0, run != nil, err
+	}
+	if run == nil {
+		r, err := metric.NewIncrementalRun([]*perf.SuiteMeasurement{
+			{Suite: cur.Suite},
+		}, opts, nil)
+		if err != nil {
+			return nil, false, false, err
+		}
+		run = r
+	}
+	prev := run.Measurement(0)
+	if prev.Suite != cur.Suite || len(cur.Workloads) < len(prev.Workloads) {
+		return rebuild()
+	}
+	// Every accumulated workload must still be present: a removal or
+	// rename cannot be expressed as an append.
+	names := make(map[string]bool, len(cur.Workloads))
+	for i := range cur.Workloads {
+		names[cur.Workloads[i].Workload] = true
+	}
+	for i := range prev.Workloads {
+		if !names[prev.Workloads[i].Workload] {
+			return rebuild()
+		}
+	}
+	for i := range cur.Workloads {
+		w := &cur.Workloads[i]
+		idx := run.WorkloadIndex(0, w.Workload)
+		if idx < 0 {
+			if err := run.AppendWorkload(0, *w); err != nil {
+				return nil, false, false, err
+			}
+			changed = true
+			continue
+		}
+		old := &run.Measurement(0).Workloads[idx]
+		delta, tail, ok := appendDelta(old, w)
+		if !ok {
+			return rebuild()
+		}
+		if delta == (perf.Values{}) && tail == nil {
+			continue
+		}
+		if err := run.AppendSamples(0, w.Workload, delta, tail); err != nil {
+			return nil, false, false, err
+		}
+		changed = true
+	}
+	return run, changed, false, nil
+}
+
+// appendDelta expresses cur as old plus an append: the totals delta and
+// the series tail. ok is false when cur is not a pure extension of old —
+// a counter total shrank, a series got shorter, its sampled prefix was
+// edited, or the sample interval changed.
+func appendDelta(old, cur *perf.Measurement) (delta perf.Values, tail *perf.TimeSeries, ok bool) {
+	for c := range cur.Totals {
+		if cur.Totals[c] < old.Totals[c] {
+			return perf.Values{}, nil, false
+		}
+		delta[c] = cur.Totals[c] - old.Totals[c]
+	}
+	grown := false
+	for c := range cur.Series.Samples {
+		olds, curs := old.Series.Samples[perf.Counter(c)], cur.Series.Samples[perf.Counter(c)]
+		if len(curs) < len(olds) {
+			return perf.Values{}, nil, false
+		}
+		for i := range olds {
+			if curs[i] != olds[i] {
+				return perf.Values{}, nil, false
+			}
+		}
+		if len(curs) > len(olds) {
+			grown = true
+		}
+	}
+	if old.Series.Len() > 0 && cur.Series.Interval != old.Series.Interval {
+		return perf.Values{}, nil, false
+	}
+	if grown {
+		tail = &perf.TimeSeries{Interval: cur.Series.Interval}
+		for c := range cur.Series.Samples {
+			olds, curs := old.Series.Samples[perf.Counter(c)], cur.Series.Samples[perf.Counter(c)]
+			if len(curs) > len(olds) {
+				tail.Samples[perf.Counter(c)] = curs[len(olds):]
+			}
+		}
+	}
+	return delta, tail, true
+}

@@ -464,3 +464,86 @@ func BenchmarkHierarchical43(b *testing.B) {
 		}
 	}
 }
+
+// TestSqDistBoundedMatchesExact: the pruned distance must make exactly
+// the decisions the exhaustive scan makes — ok iff the full distance is
+// strictly below the bound, and a completed sum bit-identical to sqDist
+// (same accumulation order). KMeans correctness rests on this.
+func TestSqDistBoundedMatchesExact(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 2000; trial++ {
+		d := 1 + src.Intn(20)
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := 0; i < d; i++ {
+			a[i] = src.Norm(0, 1)
+			b[i] = src.Norm(0, 1)
+		}
+		exact := sqDist(a, b)
+		var bound float64
+		switch trial % 4 {
+		case 0:
+			bound = math.Inf(1)
+		case 1:
+			bound = exact // boundary: dd < bound is false, prune must agree
+		case 2:
+			bound = exact * (0.25 + src.Float64())
+		default:
+			bound = src.Float64() * float64(d)
+		}
+		got, ok := sqDistBounded(a, b, bound)
+		if want := exact < bound; ok != want {
+			t.Fatalf("trial %d: ok=%v, want %v (exact=%g bound=%g)", trial, ok, want, exact, bound)
+		}
+		if ok && got != exact {
+			t.Fatalf("trial %d: completed sum %x diverges from sqDist %x", trial, got, exact)
+		}
+	}
+}
+
+// TestKMeansPrunedMatchesReference pins the full KMeans pipeline against
+// a reference assignment pass without pruning: for a sweep of k the
+// labels and inertia must be identical.
+func TestKMeansPrunedMatchesReference(t *testing.T) {
+	src := rng.New(9)
+	rows := make([][]float64, 48)
+	for i := range rows {
+		row := make([]float64, 14)
+		for j := range row {
+			row[j] = src.Float64()
+		}
+		rows[i] = row
+	}
+	x := mat.FromRows(rows)
+	for k := 2; k < 12; k++ {
+		res, err := KMeans(x, k, DefaultKMeansOptions(uint64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference assignment: every point must sit on its nearest
+		// centroid by the exhaustive strict-< scan.
+		for i := 0; i < x.Rows(); i++ {
+			bestC, bestD := 0, math.Inf(1)
+			for c := range res.Centroids {
+				if dd := sqDist(x.RowView(i), res.Centroids[c]); dd < bestD {
+					bestD = dd
+					bestC = c
+				}
+			}
+			// Empty-cluster repair may move a point off its nearest
+			// centroid legitimately; accept only exact matches or repairs.
+			if res.Labels[i] != bestC {
+				if dd := sqDist(x.RowView(i), res.Centroids[res.Labels[i]]); dd < bestD {
+					t.Fatalf("k=%d point %d: label %d closer than reference %d?", k, i, res.Labels[i], bestC)
+				}
+			}
+		}
+		inertia := 0.0
+		for i := 0; i < x.Rows(); i++ {
+			inertia += sqDist(x.RowView(i), res.Centroids[res.Labels[i]])
+		}
+		if inertia != res.Inertia {
+			t.Fatalf("k=%d: inertia %x, recomputed %x", k, res.Inertia, inertia)
+		}
+	}
+}

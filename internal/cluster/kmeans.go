@@ -91,12 +91,16 @@ func kmeansOnce(x *mat.Matrix, k int, opts KMeansOptions, src *rng.Source) *KMea
 	iterations := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		iterations = iter + 1
-		// Assignment step.
+		// Assignment step. The bounded distance bails out as soon as the
+		// partial sum reaches the incumbent best: squares are non-negative
+		// and float addition of non-negatives is monotone, so a bailed
+		// candidate could never have won the strict `<` — the labels are
+		// bit-identical to the exhaustive scan.
 		for i := 0; i < n; i++ {
 			row := x.RowView(i)
 			bestC, bestD := 0, math.Inf(1)
 			for c := 0; c < k; c++ {
-				if dd := sqDist(row, centroids[c]); dd < bestD {
+				if dd, ok := sqDistBounded(row, centroids[c], bestD); ok {
 					bestD = dd
 					bestC = c
 				}
@@ -235,7 +239,7 @@ func seedPlusPlus(x *mat.Matrix, k int, src *rng.Source) [][]float64 {
 		c := append([]float64(nil), x.RowView(chosen)...)
 		centroids = append(centroids, c)
 		for i := 0; i < n; i++ {
-			if dd := sqDist(x.RowView(i), c); dd < minDist[i] {
+			if dd, ok := sqDistBounded(x.RowView(i), c, minDist[i]); ok {
 				minDist[i] = dd
 			}
 		}
@@ -251,4 +255,24 @@ func sqDist(a, b []float64) float64 {
 		sum += diff * diff
 	}
 	return sum
+}
+
+// sqDistBounded is sqDist with partial-distance pruning: it accumulates
+// in the same order as sqDist and stops as soon as the partial sum
+// reaches bound. Every term is a square (non-negative) and rounding a
+// non-negative addend never moves the sum below its previous value, so
+// partial sums are monotone: a pruned pair is guaranteed to satisfy
+// sqDist(a, b) >= bound. ok reports that the full distance was computed
+// and is strictly below bound — when true, d is bit-identical to
+// sqDist(a, b).
+func sqDistBounded(a, b []float64, bound float64) (d float64, ok bool) {
+	sum := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		sum += diff * diff
+		if sum >= bound {
+			return sum, false
+		}
+	}
+	return sum, true
 }

@@ -12,15 +12,31 @@ import (
 	"perspector/internal/stat"
 )
 
+// staleVer marks a cache slot that has never been computed. Workload
+// series versions start at 0 and only increment, so the sentinel can
+// never collide with a real version.
+const staleVer = ^uint64(0)
+
 // Artifacts holds the shared intermediates of one suite's scoring run.
 // Before the engine existed, every score recomputed its inputs from the
 // raw measurement (the counter matrix twice, the normalized matrix per
 // score); Artifacts computes each intermediate once, on first request,
 // and hands the cached value to every metric that follows.
 //
+// Artifacts also supports *append*: IncrementalRun grows a measurement
+// workload-by-workload (or chunk-by-chunk within a workload) and the
+// cached intermediates grow with it instead of being rebuilt —
+// normalization bounds extend online, the distance matrix gains one
+// row/column, and the pairwise-DTW cache recomputes only pairs touching
+// a changed series. Whenever a cheap update cannot be proven
+// bit-identical to a fresh batch computation (a normalization bound
+// moved), the affected cache is dropped wholesale and the next access
+// recomputes it with the exact batch code path.
+//
 // An Artifacts value is not safe for concurrent use: the engine runs the
 // registry's metrics serially per suite (suites fan out, metrics do not),
-// so the lazy single-slot caches need no locks.
+// so the lazy single-slot caches need no locks. Mutation (appendWorkload,
+// appendSamples) must likewise be serialized with scoring.
 type Artifacts struct {
 	// Meas is the suite measurement being scored.
 	Meas *perf.SuiteMeasurement
@@ -34,21 +50,110 @@ type Artifacts struct {
 	// own bounds.
 	JointNorm *mat.Matrix
 
-	raw        *mat.Matrix
-	ownNorm    *mat.Matrix
-	dist       [][]float64
-	normSeries map[perf.Counter][][]float64
-	scratch    []*dtw.Distancer
+	raw     *mat.Matrix
+	ownNorm *mat.Matrix
+	// colMin/colMax are the per-column bounds backing ownNorm; valid iff
+	// ownNorm != nil. Appends consult them to decide between extending
+	// the normalized matrix (bounds unmoved: every cached entry is
+	// already what a batch recompute would produce) and dropping it.
+	colMin, colMax []float64
+	dist           [][]float64
+
+	// seriesVer[i] counts sample appends to workload i's series; the
+	// per-counter caches below record the version they were computed at
+	// and recompute only slots whose version moved. Indices beyond
+	// len(seriesVer) are version 0 (never mutated).
+	seriesVer  []uint64
+	normSeries map[perf.Counter]*seriesCache
+	trendDists map[perf.Counter]*pairCache
+
+	// Input-version counters backing the per-metric memo: totalsVer
+	// counts changes to the counter matrix (appended rows, totals
+	// deltas), seriesEpoch counts any series change anywhere in the
+	// suite, and jointVer counts changes to JointNorm's *content*
+	// (bumped by IncrementalRun.updateJoint). A metric's result is
+	// reusable iff the versions its declared capabilities map to are all
+	// unchanged — see scoreArtifacts.
+	totalsVer   uint64
+	seriesEpoch uint64
+	jointVer    uint64
+	memo        map[string]memoEntry
+
+	scratch []*dtw.Distancer
+}
+
+// memoKey is the input signature a memoized metric value was computed
+// at. rows and totalsVer always participate; seriesEpoch and jointVer
+// only when the metric declares the corresponding capability (the zero
+// value stands in otherwise), so e.g. a sample-only append leaves the
+// cluster/coverage/spread signatures untouched.
+type memoKey struct {
+	rows        int
+	totalsVer   uint64
+	seriesEpoch uint64
+	jointVer    uint64
+}
+
+// memoEntry is one memoized metric value.
+type memoEntry struct {
+	key   memoKey
+	value float64
+}
+
+// memoKeyFor builds the metric's input signature from its capabilities.
+func (a *Artifacts) memoKeyFor(c Capabilities) memoKey {
+	k := memoKey{rows: len(a.Meas.Workloads), totalsVer: a.totalsVer}
+	if c.NeedsSeries {
+		k.seriesEpoch = a.seriesEpoch
+	}
+	if c.NeedsJointNorm {
+		k.jointVer = a.jointVer
+	}
+	return k
+}
+
+// memoLookup returns the memoized value for the named metric if its
+// input signature still matches.
+func (a *Artifacts) memoLookup(name string, key memoKey) (float64, bool) {
+	e, ok := a.memo[name]
+	if !ok || e.key != key {
+		return 0, false
+	}
+	return e.value, true
+}
+
+// memoStore records a computed metric value under its input signature.
+func (a *Artifacts) memoStore(name string, key memoKey, v float64) {
+	if a.memo == nil {
+		a.memo = make(map[string]memoEntry)
+	}
+	a.memo[name] = memoEntry{key: key, value: v}
+}
+
+// bumpJointVersion marks JointNorm's content as changed; the engine
+// calls it whenever it rewrites any entry of the matrix.
+func (a *Artifacts) bumpJointVersion() { a.jointVer++ }
+
+// seriesCache is the per-counter normalized-series cache: norm[i] is
+// workload i's warmup-trimmed, CDF/percentile-normalized series, ver[i]
+// the series version it was computed at.
+type seriesCache struct {
+	norm [][]float64
+	ver  []uint64
+}
+
+// pairCache is the per-counter pairwise-DTW cache: d is the symmetric
+// n×n distance matrix over the normalized series, ver[i] the series
+// version d's row/column i was computed at.
+type pairCache struct {
+	d   [][]float64
+	ver []uint64
 }
 
 // NewArtifacts wraps a measurement for scoring. Intermediates are
 // computed lazily; nothing runs until a metric asks.
 func NewArtifacts(sm *perf.SuiteMeasurement, opts Options) *Artifacts {
-	return &Artifacts{
-		Meas:    sm,
-		Opts:    opts,
-		scratch: make([]*dtw.Distancer, par.Workers()),
-	}
+	return &Artifacts{Meas: sm, Opts: opts}
 }
 
 // HasSeries reports whether any workload carries sampled time-series
@@ -76,7 +181,20 @@ func (a *Artifacts) Raw() *mat.Matrix {
 // ClusterScore (§III-A), as opposed to the cross-suite JointNorm.
 func (a *Artifacts) OwnNorm() *mat.Matrix {
 	if a.ownNorm == nil {
-		a.ownNorm = normalizeColumns(a.Raw())
+		x := a.Raw()
+		a.ownNorm = normalizeColumns(x)
+		// Record the bounds the normalization used so appends can tell
+		// whether a new row moves them.
+		m := x.Cols()
+		a.colMin = make([]float64, m)
+		a.colMax = make([]float64, m)
+		for j := 0; j < m; j++ {
+			if x.Rows() == 0 {
+				a.colMin[j], a.colMax[j] = 0, 0
+				continue
+			}
+			a.colMin[j], a.colMax[j] = stat.MinMax(x.Col(j))
+		}
 	}
 	return a.ownNorm
 }
@@ -90,17 +208,54 @@ func (a *Artifacts) Dist() [][]float64 {
 	return a.dist
 }
 
+// seriesVersion returns workload i's series version (0 if never mutated).
+func (a *Artifacts) seriesVersion(i int) uint64 {
+	if i < len(a.seriesVer) {
+		return a.seriesVer[i]
+	}
+	return 0
+}
+
+// bumpSeriesVersion marks workload i's series as changed.
+func (a *Artifacts) bumpSeriesVersion(i int) {
+	for len(a.seriesVer) <= i {
+		a.seriesVer = append(a.seriesVer, 0)
+	}
+	a.seriesVer[i]++
+	a.seriesEpoch++
+}
+
 // NormSeries returns the warmup-trimmed, CDF/percentile-normalized delta
 // series of every workload for counter c (the Fig. 1 normalization that
-// TrendScore's DTW compares). The result is cached per counter.
+// TrendScore's DTW compares). The result is cached per counter; only
+// workloads whose series changed since the last call are recomputed.
 func (a *Artifacts) NormSeries(ctx context.Context, c perf.Counter) ([][]float64, error) {
-	if s, ok := a.normSeries[c]; ok {
-		return s, nil
+	n := len(a.Meas.Workloads)
+	if a.normSeries == nil {
+		a.normSeries = make(map[perf.Counter]*seriesCache)
+	}
+	sc := a.normSeries[c]
+	if sc == nil {
+		sc = &seriesCache{}
+		a.normSeries[c] = sc
+	}
+	for len(sc.ver) < n {
+		sc.ver = append(sc.ver, staleVer)
+		sc.norm = append(sc.norm, nil)
+	}
+	var stale []int
+	for i := 0; i < n; i++ {
+		if sc.ver[i] != a.seriesVersion(i) {
+			stale = append(stale, i)
+		}
+	}
+	if len(stale) == 0 {
+		return sc.norm, nil
 	}
 	series := a.Meas.SeriesFor(c)
-	n := len(a.Meas.Workloads)
-	norm := make([][]float64, n)
-	err := par.DoErr(ctx, n, func(w, i int) error {
+	a.ensureScratch(par.Workers())
+	err := par.DoErr(ctx, len(stale), func(w, k int) error {
+		i := stale[k]
 		s := series[i]
 		if len(s) == 0 {
 			return fmt.Errorf("metric: TrendScore: workload %q has no samples for %v",
@@ -111,30 +266,293 @@ func (a *Artifacts) NormSeries(ctx context.Context, c perf.Counter) ([][]float64
 			drop = len(s) - 1
 		}
 		if a.Opts.TrendValueCDF {
-			norm[i] = dtw.NormalizeSeriesValueCDF(s[drop:], a.Opts.DTWGrid)
+			sc.norm[i] = dtw.NormalizeSeriesValueCDF(s[drop:], a.Opts.DTWGrid)
 		} else {
 			// NormalizeSeries returns a fresh slice, so caching the result
 			// while reusing the distancer's internal scratch is safe.
-			norm[i] = a.distancer(w).NormalizeSeries(s[drop:], a.Opts.DTWGrid)
+			sc.norm[i] = a.distancer(w).NormalizeSeries(s[drop:], a.Opts.DTWGrid)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if a.normSeries == nil {
-		a.normSeries = make(map[perf.Counter][][]float64)
+	for _, i := range stale {
+		sc.ver[i] = a.seriesVersion(i)
 	}
-	a.normSeries[c] = norm
-	return norm, nil
+	return sc.norm, nil
+}
+
+// TrendDists returns the symmetric pairwise DTW distance matrix over the
+// normalized series of counter c. The matrix is cached per counter and
+// grown incrementally: only pairs involving a workload whose series
+// changed (or that is new) since the last call are recomputed — the
+// windowed update that turns an append from O(n²) DTW into O(n).
+func (a *Artifacts) TrendDists(ctx context.Context, c perf.Counter) ([][]float64, error) {
+	norm, err := a.NormSeries(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	n := len(norm)
+	if a.trendDists == nil {
+		a.trendDists = make(map[perf.Counter]*pairCache)
+	}
+	pc := a.trendDists[c]
+	if pc == nil {
+		pc = &pairCache{}
+		a.trendDists[c] = pc
+	}
+	for len(pc.ver) < n {
+		pc.ver = append(pc.ver, staleVer)
+	}
+	stale := make([]bool, n)
+	anyStale := false
+	for i := 0; i < n; i++ {
+		if pc.ver[i] != a.seriesVersion(i) {
+			stale[i] = true
+			anyStale = true
+		}
+	}
+	if !anyStale && len(pc.d) == n {
+		return pc.d, nil
+	}
+	if len(pc.d) != n {
+		nd := make([][]float64, n)
+		for i := range nd {
+			nd[i] = make([]float64, n)
+			if i < len(pc.d) {
+				copy(nd[i], pc.d[i])
+			}
+		}
+		pc.d = nd
+	}
+	// Enumerate the affected unordered pairs in the lexicographic order
+	// of the serial double loop, exactly as the batch path did.
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if stale[i] || stale[j] {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	a.ensureScratch(par.Workers())
+	err = par.DoErr(ctx, len(pairs), func(w, p int) error {
+		i, j := pairs[p][0], pairs[p][1]
+		// Per-worker reusable DP scratch: the O(W²) DTW loop allocates
+		// nothing per pair.
+		dz := a.distancer(w)
+		var d float64
+		if a.Opts.DTWBand > 0 {
+			var derr error
+			d, derr = dz.DistanceBanded(norm[i], norm[j], a.Opts.DTWBand)
+			if derr != nil {
+				return fmt.Errorf("metric: TrendScore DTW: %w", derr)
+			}
+		} else {
+			d = dz.Distance(norm[i], norm[j])
+		}
+		pc.d[i][j] = d
+		pc.d[j][i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		pc.ver[i] = a.seriesVersion(i)
+	}
+	return pc.d, nil
+}
+
+// appendWorkload appends one workload measurement and grows the cached
+// intermediates. If the new row moves any own-normalization bound the
+// normalized matrix and distance matrix are dropped (the batch path
+// rebuilds them bit-identically on next access); otherwise both grow by
+// one row/column, the distance column computed in parallel over the
+// existing rows.
+func (a *Artifacts) appendWorkload(m perf.Measurement) {
+	idx := len(a.Meas.Workloads)
+	a.Meas.Workloads = append(a.Meas.Workloads, m)
+	// A new row changes both the counter matrix and the series set.
+	a.totalsVer++
+	a.seriesEpoch++
+	for len(a.seriesVer) < len(a.Meas.Workloads) {
+		a.seriesVer = append(a.seriesVer, 0)
+	}
+	row := m.Totals.Vector(a.Opts.Counters)
+	if a.raw != nil {
+		if a.raw.Rows() == 0 {
+			// A raw matrix cached while the measurement was still empty is
+			// 0×0 and cannot grow a row; drop it and rebuild lazily.
+			a.raw = nil
+		} else {
+			a.raw = appendRowMatrix(a.raw, row)
+		}
+	}
+	if a.ownNorm == nil {
+		return
+	}
+	moved := false
+	for j, v := range row {
+		if v < a.colMin[j] || v > a.colMax[j] {
+			moved = true
+			break
+		}
+	}
+	if a.Raw().Rows() == 1 {
+		// First row ever: normalizeColumns would produce a zero row (span
+		// 0) whatever the bounds say; the cached empty matrices carry no
+		// information worth growing.
+		moved = true
+	}
+	if moved {
+		a.invalidateNorm()
+		return
+	}
+	nrow := make([]float64, len(row))
+	for j, v := range row {
+		span := a.colMax[j] - a.colMin[j]
+		if span != 0 {
+			nrow[j] = (v - a.colMin[j]) / span
+		}
+	}
+	a.ownNorm = appendRowMatrix(a.ownNorm, nrow)
+	if a.dist != nil {
+		a.growDistRow(idx)
+	}
+}
+
+// appendSamples extends workload idx in place: delta accumulates into
+// the counter totals and samples (if any) append to the time series.
+// Totals updates may *shrink* a column bound (the old value could have
+// been the extremum), so bounds are recomputed exactly by rescanning the
+// column; unmoved bounds keep every cached row but idx valid.
+func (a *Artifacts) appendSamples(idx int, delta perf.Values, samples *perf.TimeSeries) {
+	w := &a.Meas.Workloads[idx]
+	totalsChanged := delta != (perf.Values{})
+	if totalsChanged {
+		a.totalsVer++
+		for c := perf.Counter(0); c < perf.NumCounters; c++ {
+			if d := delta.Get(c); d != 0 {
+				w.Totals.Add(c, d)
+			}
+		}
+	}
+	if samples != nil && samples.Len() > 0 {
+		if w.Series.Len() == 0 {
+			w.Series.Interval = samples.Interval
+		}
+		for c := range w.Series.Samples {
+			w.Series.Samples[c] = append(w.Series.Samples[c], samples.Samples[c]...)
+		}
+		a.bumpSeriesVersion(idx)
+	}
+	if !totalsChanged {
+		return
+	}
+	row := w.Totals.Vector(a.Opts.Counters)
+	if a.raw != nil {
+		a.raw.SetRow(idx, row)
+	}
+	if a.ownNorm == nil {
+		return
+	}
+	x := a.Raw()
+	moved := false
+	for j := 0; j < x.Cols(); j++ {
+		lo, hi := stat.MinMax(x.Col(j))
+		if lo != a.colMin[j] || hi != a.colMax[j] {
+			moved = true
+			break
+		}
+	}
+	if moved {
+		a.invalidateNorm()
+		return
+	}
+	nrow := make([]float64, len(row))
+	for j, v := range row {
+		span := a.colMax[j] - a.colMin[j]
+		if span != 0 {
+			nrow[j] = (v - a.colMin[j]) / span
+		}
+	}
+	a.ownNorm.SetRow(idx, nrow)
+	if a.dist != nil {
+		a.updateDistRow(idx)
+	}
+}
+
+// invalidateNorm drops the own-normalization-derived caches; the next
+// access rebuilds them through the exact batch code path.
+func (a *Artifacts) invalidateNorm() {
+	a.ownNorm = nil
+	a.colMin, a.colMax = nil, nil
+	a.dist = nil
+}
+
+// growDistRow extends the cached distance matrix with row/column idx
+// (the just-appended last row of ownNorm), computing only the n-1 new
+// distances — in parallel over the existing rows, mirroring
+// cluster.DistanceMatrix's mat.Dist(i, j) with i < j.
+func (a *Artifacts) growDistRow(idx int) {
+	x := a.ownNorm
+	n := x.Rows()
+	nd := make([][]float64, n)
+	last := make([]float64, n)
+	par.Do(idx, func(_, i int) {
+		r := make([]float64, n)
+		copy(r, a.dist[i])
+		d := mat.Dist(x.RowView(i), x.RowView(idx))
+		r[idx] = d
+		nd[i] = r
+		last[i] = d
+	})
+	nd[idx] = last
+	a.dist = nd
+}
+
+// updateDistRow recomputes row/column idx of the cached distance matrix
+// after workload idx's normalized row changed in place.
+func (a *Artifacts) updateDistRow(idx int) {
+	x := a.ownNorm
+	n := x.Rows()
+	par.Do(n, func(_, i int) {
+		if i == idx {
+			a.dist[idx][idx] = 0
+			return
+		}
+		var d float64
+		if i < idx {
+			d = mat.Dist(x.RowView(i), x.RowView(idx))
+		} else {
+			d = mat.Dist(x.RowView(idx), x.RowView(i))
+		}
+		a.dist[i][idx] = d
+		a.dist[idx][i] = d
+	})
+}
+
+// ensureScratch grows the per-worker DTW scratch table to at least n
+// slots. It must be called from the serial section before a parallel
+// region hands out worker ids: growing the slice while workers index it
+// would race.
+func (a *Artifacts) ensureScratch(n int) {
+	for len(a.scratch) < n {
+		a.scratch = append(a.scratch, nil)
+	}
 }
 
 // distancer returns worker w's reusable DTW scratch. Worker ids from
 // par.Do/DoErr are stable within a pool, so each slot is owned by one
-// goroutine at a time.
+// goroutine at a time. The table is sized by ensureScratch at each
+// parallel entry point, so a SetWorkers raise between scoring runs gets
+// fresh slots instead of indexing past the table; the fallback covers
+// only a SetWorkers racing a live run.
 func (a *Artifacts) distancer(w int) *dtw.Distancer {
 	if w >= len(a.scratch) {
-		// Pool width grew after NewArtifacts (SetWorkers mid-run); fall
+		// Pool width grew after ensureScratch (SetWorkers mid-run); fall
 		// back to a throwaway instance rather than racing on the slice.
 		return dtw.NewDistancer()
 	}
@@ -142,6 +560,16 @@ func (a *Artifacts) distancer(w int) *dtw.Distancer {
 		a.scratch[w] = dtw.NewDistancer()
 	}
 	return a.scratch[w]
+}
+
+// appendRowMatrix returns a new matrix with row appended to x.
+func appendRowMatrix(x *mat.Matrix, row []float64) *mat.Matrix {
+	out := mat.New(x.Rows()+1, x.Cols())
+	for i := 0; i < x.Rows(); i++ {
+		out.SetRow(i, x.RowView(i))
+	}
+	out.SetRow(x.Rows(), row)
+	return out
 }
 
 // normalizeColumns min-max normalizes each column of x into [0,1] using
@@ -167,23 +595,31 @@ func matrixFor(sm *perf.SuiteMeasurement, counters []perf.Counter) *mat.Matrix {
 // shared per-counter bounds (Eq. 9–10): the bounds come from the
 // concatenation of all suites, so relative ranges between suites survive.
 func JointNormalize(xs []*mat.Matrix) ([]*mat.Matrix, error) {
+	mins, maxs, err := jointBounds(xs)
+	if err != nil {
+		return nil, err
+	}
+	return applyJointNorm(xs, mins, maxs), nil
+}
+
+// jointBounds computes the global per-counter min/max across every
+// matrix (Eq. 9). Columns are independent, so the bound scan fans out
+// per column; each task writes only its own mins[j]/maxs[j] slot.
+func jointBounds(xs []*mat.Matrix) (mins, maxs []float64, err error) {
 	if len(xs) == 0 {
-		return nil, fmt.Errorf("metric: JointNormalize with no matrices")
+		return nil, nil, fmt.Errorf("metric: JointNormalize with no matrices")
 	}
 	m := xs[0].Cols()
 	for _, x := range xs {
 		if x.Cols() != m {
-			return nil, fmt.Errorf("metric: JointNormalize column mismatch %d vs %d", x.Cols(), m)
+			return nil, nil, fmt.Errorf("metric: JointNormalize column mismatch %d vs %d", x.Cols(), m)
 		}
 		if x.Rows() == 0 {
-			return nil, fmt.Errorf("metric: JointNormalize with empty matrix")
+			return nil, nil, fmt.Errorf("metric: JointNormalize with empty matrix")
 		}
 	}
-	// Global bounds per counter (Eq. 9). Columns are independent, so the
-	// bound scan fans out per column; each task writes only its own
-	// mins[j]/maxs[j] slot.
-	mins := make([]float64, m)
-	maxs := make([]float64, m)
+	mins = make([]float64, m)
+	maxs = make([]float64, m)
 	par.Do(m, func(_, j int) {
 		first := true
 		for _, x := range xs {
@@ -199,7 +635,13 @@ func JointNormalize(xs []*mat.Matrix) ([]*mat.Matrix, error) {
 			}
 		}
 	})
-	// Normalization pass: one task per suite, each writing its own out[k].
+	return mins, maxs, nil
+}
+
+// applyJointNorm normalizes every matrix with the shared bounds: one
+// task per suite, each writing its own out[k].
+func applyJointNorm(xs []*mat.Matrix, mins, maxs []float64) []*mat.Matrix {
+	m := len(mins)
 	out := make([]*mat.Matrix, len(xs))
 	par.Do(len(xs), func(_, k int) {
 		x := xs[k]
@@ -212,7 +654,7 @@ func JointNormalize(xs []*mat.Matrix) ([]*mat.Matrix, error) {
 		}
 		out[k] = nx
 	})
-	return out, nil
+	return out
 }
 
 // TotalsOnly returns a shallow copy of sm with every time series dropped,

@@ -60,12 +60,21 @@ func ScoreSuites(ctx context.Context, sms []*perf.SuiteMeasurement, opts Options
 			a.JointNorm = normed[i]
 		}
 	}
-	// Per-suite fan-out: every suite's scores are independent of the
-	// others once the joint bounds are fixed, and each metric is itself
-	// deterministic, so out[i] is the same at any worker count. The first
-	// error in suite order is returned, matching the serial loop.
-	out := make([]Scores, len(sms))
-	err := par.DoErrCtx(ctx, len(sms), func(ctx context.Context, _, i int) error {
+	return scoreArtifacts(ctx, arts, reg, runStage)
+}
+
+// scoreArtifacts fans the suites out and runs the registry's metrics in
+// registration order over each suite's Artifacts — the scoring half of
+// ScoreSuites, shared with IncrementalRun so an appended measurement is
+// scored by the same code that scores a batch run.
+//
+// Every suite's scores are independent of the others once the joint
+// bounds are fixed, and each metric is itself deterministic, so out[i]
+// is the same at any worker count. The first error in suite order is
+// returned, matching the serial loop.
+func scoreArtifacts(ctx context.Context, arts []*Artifacts, reg *Registry, runStage stage.Stage) ([]Scores, error) {
+	out := make([]Scores, len(arts))
+	err := par.DoErrCtx(ctx, len(arts), func(ctx context.Context, _, i int) error {
 		a := arts[i]
 		out[i].Suite = a.Meas.Suite
 		hasSeries := a.HasSeries()
@@ -74,8 +83,24 @@ func ScoreSuites(ctx context.Context, sms []*perf.SuiteMeasurement, opts Options
 		var suiteErr error
 		pprof.Do(sctx, pprof.Labels("suite", a.Meas.Suite, "stage", "score"), func(ctx context.Context) {
 			for _, m := range reg.Metrics() {
-				if m.Requires().NeedsSeries && !hasSeries {
+				req := m.Requires()
+				if req.NeedsSeries && !hasSeries {
 					continue // capability unmet: slot stays zero
+				}
+				// Per-metric memo: when every input version the metric's
+				// capabilities map to is unchanged since the last compute,
+				// the stored value IS what recomputing would produce (the
+				// metrics are deterministic functions of those inputs), so
+				// e.g. a sample-only append skips the k-means sweep and PCA
+				// entirely. Batch runs build fresh Artifacts per call and
+				// never hit this.
+				key := a.memoKeyFor(req)
+				if v, ok := a.memoLookup(m.Name(), key); ok {
+					if err := out[i].set(m.Name(), v); err != nil {
+						suiteErr = stage.Wrap(stage.Score, a.Meas.Suite, "", err)
+						return
+					}
+					continue
 				}
 				mctx, msp := obs.Start(ctx, "metric."+m.Name(), obs.String("suite", a.Meas.Suite))
 				v, err := m.Compute(mctx, a)
@@ -84,6 +109,7 @@ func ScoreSuites(ctx context.Context, sms []*perf.SuiteMeasurement, opts Options
 					suiteErr = stage.Wrap(stage.Score, a.Meas.Suite, "", err)
 					return
 				}
+				a.memoStore(m.Name(), key, v)
 				if err := out[i].set(m.Name(), v); err != nil {
 					suiteErr = stage.Wrap(stage.Score, a.Meas.Suite, "", err)
 					return

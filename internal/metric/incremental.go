@@ -1,0 +1,321 @@
+package metric
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"perspector/internal/mat"
+	"perspector/internal/obs"
+	"perspector/internal/par"
+	"perspector/internal/perf"
+	"perspector/internal/stage"
+)
+
+// IncrementalRun is a scoring run whose measurements grow over time: new
+// workloads append, existing workloads receive counter/series chunks,
+// and every Scores call re-scores the current state by *updating* the
+// cached artifacts rather than rebuilding them — online normalization
+// bounds, one-row distance-matrix growth, windowed pairwise-DTW updates,
+// and incremental joint-norm propagation across the suites of a compare
+// run. The batch path (ScoreSuites over the same measurements) is the
+// exact-recompute fallback and the golden oracle: every Scores result is
+// bit-identical to a fresh batch run of the accumulated data.
+//
+// An IncrementalRun is not safe for concurrent use; callers serialize
+// appends and scoring (the jobs stream layer runs one goroutine per
+// stream). The run takes ownership of the measurements passed in.
+type IncrementalRun struct {
+	opts Options
+	reg  *Registry
+	arts []*Artifacts
+
+	needJoint  bool
+	jointBuilt bool
+	jointMin   []float64
+	jointMax   []float64
+	// newRows / updatedRows track the matrix rows touched since the last
+	// joint-norm update, per suite. New rows only *extend* the joint
+	// bounds; updated rows can shrink them (the old value may have been
+	// the extremum), which forces an exact bound rescan.
+	newRows     [][]int
+	updatedRows []map[int]bool
+}
+
+// NewIncrementalRun starts an incremental scoring run over the given
+// suite measurements (which may start empty and grow via appends). A nil
+// registry means DefaultRegistry.
+func NewIncrementalRun(sms []*perf.SuiteMeasurement, opts Options, reg *Registry) (*IncrementalRun, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sms) == 0 {
+		return nil, fmt.Errorf("metric: NewIncrementalRun with no suites")
+	}
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	r := &IncrementalRun{
+		opts:        opts,
+		reg:         reg,
+		arts:        make([]*Artifacts, len(sms)),
+		needJoint:   reg.needs(func(c Capabilities) bool { return c.NeedsJointNorm }),
+		newRows:     make([][]int, len(sms)),
+		updatedRows: make([]map[int]bool, len(sms)),
+	}
+	for i, sm := range sms {
+		r.arts[i] = NewArtifacts(sm, opts)
+		r.updatedRows[i] = make(map[int]bool)
+		for w := range sm.Workloads {
+			r.newRows[i] = append(r.newRows[i], w)
+		}
+	}
+	return r, nil
+}
+
+// Suites returns the number of suites in the run.
+func (r *IncrementalRun) Suites() int { return len(r.arts) }
+
+// Measurement returns suite i's accumulated measurement. The run owns
+// it; callers must not mutate it.
+func (r *IncrementalRun) Measurement(i int) *perf.SuiteMeasurement { return r.arts[i].Meas }
+
+// WorkloadIndex returns the index of the named workload in suite i, or
+// -1 if no workload with that name has been appended.
+func (r *IncrementalRun) WorkloadIndex(suite int, name string) int {
+	if suite < 0 || suite >= len(r.arts) {
+		return -1
+	}
+	for w := range r.arts[suite].Meas.Workloads {
+		if r.arts[suite].Meas.Workloads[w].Workload == name {
+			return w
+		}
+	}
+	return -1
+}
+
+// AppendWorkload appends a new workload measurement to suite i. The
+// run's cached artifacts grow in place; the next Scores call pays only
+// the delta cost of the new row.
+func (r *IncrementalRun) AppendWorkload(suite int, m perf.Measurement) error {
+	if suite < 0 || suite >= len(r.arts) {
+		return fmt.Errorf("metric: AppendWorkload: suite index %d out of range [0,%d)", suite, len(r.arts))
+	}
+	a := r.arts[suite]
+	idx := len(a.Meas.Workloads)
+	a.appendWorkload(m)
+	r.newRows[suite] = append(r.newRows[suite], idx)
+	return nil
+}
+
+// AppendSamples extends an existing workload of suite i: delta
+// accumulates into its counter totals and series (if non-nil and
+// non-empty) appends to its sampled time series.
+func (r *IncrementalRun) AppendSamples(suite int, workload string, delta perf.Values, series *perf.TimeSeries) error {
+	if suite < 0 || suite >= len(r.arts) {
+		return fmt.Errorf("metric: AppendSamples: suite index %d out of range [0,%d)", suite, len(r.arts))
+	}
+	idx := r.WorkloadIndex(suite, workload)
+	if idx < 0 {
+		return fmt.Errorf("metric: AppendSamples: suite %q has no workload %q",
+			r.arts[suite].Meas.Suite, workload)
+	}
+	a := r.arts[suite]
+	a.appendSamples(idx, delta, series)
+	if delta != (perf.Values{}) {
+		r.updatedRows[suite][idx] = true
+	}
+	return nil
+}
+
+// Scores re-scores the current accumulated state. The result is
+// bit-identical to ScoreSuites over the same measurements; only the
+// artifacts touched by appends since the last call are recomputed.
+func (r *IncrementalRun) Scores(ctx context.Context) ([]Scores, error) {
+	runStage := stage.Compare
+	if len(r.arts) == 1 {
+		runStage = stage.Score
+	}
+	if r.needJoint {
+		_, jnSpan := obs.Start(ctx, "joint_norm")
+		err := r.updateJoint()
+		jnSpan.End()
+		if err != nil {
+			return nil, stage.Wrap(runStage, "", "", err)
+		}
+	}
+	for i := range r.arts {
+		r.newRows[i] = r.newRows[i][:0]
+		for k := range r.updatedRows[i] {
+			delete(r.updatedRows[i], k)
+		}
+	}
+	return scoreArtifacts(ctx, r.arts, r.reg, runStage)
+}
+
+// updateJoint maintains the Eq. 9–10 joint normalization across the
+// run's suites. The first call computes it exactly as the batch path
+// does; later calls extend the global bounds with the appended rows and
+// re-normalize only moved columns everywhere (plus all columns of the
+// appended/updated rows), so an append to one suite costs O(rows·moved
+// columns) across the run instead of a full rebuild.
+func (r *IncrementalRun) updateJoint() error {
+	raws := make([]*mat.Matrix, len(r.arts))
+	for i, a := range r.arts {
+		raws[i] = a.Raw()
+	}
+	if !r.jointBuilt {
+		mins, maxs, err := jointBounds(raws)
+		if err != nil {
+			return err
+		}
+		normed := applyJointNorm(raws, mins, maxs)
+		for i, a := range r.arts {
+			a.JointNorm = normed[i]
+			a.bumpJointVersion()
+		}
+		r.jointMin, r.jointMax = mins, maxs
+		r.jointBuilt = true
+		return nil
+	}
+	anyPending := false
+	anyUpdated := false
+	for i := range r.arts {
+		if len(r.newRows[i]) > 0 {
+			anyPending = true
+		}
+		if len(r.updatedRows[i]) > 0 {
+			anyPending = true
+			anyUpdated = true
+		}
+	}
+	if !anyPending {
+		return nil
+	}
+	m := len(r.jointMin)
+	newMin := make([]float64, m)
+	newMax := make([]float64, m)
+	if anyUpdated {
+		// An updated row can shrink a bound (its old value may have been
+		// the extremum); recompute the bounds exactly. The scan is
+		// O(total rows · m) over floats already in cache — trivial next
+		// to one DTW pair.
+		mins, maxs, err := jointBounds(raws)
+		if err != nil {
+			return err
+		}
+		copy(newMin, mins)
+		copy(newMax, maxs)
+	} else {
+		copy(newMin, r.jointMin)
+		copy(newMax, r.jointMax)
+		for i, a := range r.arts {
+			x := a.Raw()
+			for _, w := range r.newRows[i] {
+				row := x.RowView(w)
+				for j, v := range row {
+					if v < newMin[j] {
+						newMin[j] = v
+					}
+					if v > newMax[j] {
+						newMax[j] = v
+					}
+				}
+			}
+		}
+	}
+	moved := make([]bool, m)
+	anyMoved := false
+	for j := 0; j < m; j++ {
+		if newMin[j] != r.jointMin[j] || newMax[j] != r.jointMax[j] {
+			moved[j] = true
+			anyMoved = true
+		}
+	}
+	// Re-normalize: moved columns everywhere; unmoved columns only for
+	// the appended/updated rows of each suite. Suites fan out — each
+	// task writes only its own JointNorm.
+	par.Do(len(r.arts), func(_, k int) {
+		a := r.arts[k]
+		x := raws[k]
+		touched := touchedRows(r.newRows[k], r.updatedRows[k])
+		if a.JointNorm == nil || (!anyMoved && len(touched) == 0) {
+			if a.JointNorm == nil {
+				a.JointNorm = applyJointNorm([]*mat.Matrix{x}, newMin, newMax)[0]
+				a.bumpJointVersion()
+			}
+			// Otherwise no bound moved and no row of this suite changed:
+			// JointNorm is untouched and its version must not move, so
+			// metrics keyed on it stay memoized.
+			return
+		}
+		grown := a.JointNorm
+		if grown.Rows() != x.Rows() {
+			ng := mat.New(x.Rows(), m)
+			for i := 0; i < grown.Rows(); i++ {
+				ng.SetRow(i, grown.RowView(i))
+			}
+			grown = ng
+		}
+		for j := 0; j < m; j++ {
+			if !moved[j] && len(touched) == 0 {
+				continue
+			}
+			span := newMax[j] - newMin[j]
+			if moved[j] {
+				for i := 0; i < x.Rows(); i++ {
+					grown.Set(i, j, normJointElem(x.At(i, j), newMin[j], span))
+				}
+				continue
+			}
+			for _, i := range touched {
+				grown.Set(i, j, normJointElem(x.At(i, j), newMin[j], span))
+			}
+		}
+		a.JointNorm = grown
+		a.bumpJointVersion()
+	})
+	r.jointMin, r.jointMax = newMin, newMax
+	return nil
+}
+
+// normJointElem is the per-element form of stat.NormalizeWith: scale
+// into [0,1] with external bounds, clamped, degenerate span to 0. Kept
+// in exact arithmetic lockstep with NormalizeWith so incremental entries
+// are bit-identical to a batch JointNormalize.
+func normJointElem(x, min, span float64) float64 {
+	if span == 0 {
+		return 0
+	}
+	v := (x - min) / span
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// touchedRows merges the appended and updated row indices of one suite
+// in ascending order.
+func touchedRows(newRows []int, updated map[int]bool) []int {
+	if len(newRows) == 0 && len(updated) == 0 {
+		return nil
+	}
+	seen := make(map[int]bool, len(newRows)+len(updated))
+	var out []int
+	for _, w := range newRows {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	for w := range updated {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

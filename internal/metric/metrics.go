@@ -115,47 +115,26 @@ func (trendMetric) Compute(ctx context.Context, a *Artifacts) (float64, error) {
 	if n < 2 {
 		return 0, nil
 	}
-	// Enumerate the unordered pairs once, in the lexicographic order of
-	// the serial double loop; the parallel gather below reduces in this
-	// order, so the sum never reassociates.
-	pairs := make([][2]int, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, [2]int{i, j})
-		}
-	}
 	total := 0.0
 	for _, c := range a.Opts.Counters {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		norm, err := a.NormSeries(ctx, c)
+		// TrendDists computes (or incrementally extends) the cached
+		// pairwise DTW matrix; only pairs touching a changed series are
+		// recomputed on an appended measurement.
+		dists, err := a.TrendDists(ctx, c)
 		if err != nil {
 			return 0, err
 		}
-		dists := make([]float64, len(pairs))
-		err = par.DoErr(ctx, len(pairs), func(w, p int) error {
-			i, j := pairs[p][0], pairs[p][1]
-			// Per-worker reusable DP scratch: the O(W²) DTW loop
-			// allocates nothing per pair.
-			dz := a.distancer(w)
-			if a.Opts.DTWBand > 0 {
-				d, err := dz.DistanceBanded(norm[i], norm[j], a.Opts.DTWBand)
-				if err != nil {
-					return fmt.Errorf("metric: TrendScore DTW: %w", err)
-				}
-				dists[p] = d
-			} else {
-				dists[p] = dz.Distance(norm[i], norm[j])
-			}
-			return nil
-		})
-		if err != nil {
-			return 0, err
-		}
+		// Reduce in the lexicographic order of the serial double loop, so
+		// the sum never reassociates and the score is bit-identical to the
+		// batch path at any worker count.
 		sum := 0.0
-		for _, d := range dists {
-			sum += 2 * d // Eq. 7 sums ordered pairs; DTW is symmetric
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sum += 2 * dists[i][j] // Eq. 7 sums ordered pairs; DTW is symmetric
+			}
 		}
 		total += sum / float64(n*(n-1))
 	}

@@ -24,6 +24,10 @@
 //	GET    /api/v1/results       list stored results (content key, kind, suites)
 //	GET    /api/v1/results/{key} fetch one stored ScoreSet
 //	GET    /api/v1/suites        list every registered suite
+//	POST   /api/v1/streams       open an incremental-scoring stream
+//	                             (chunks, scores, close, cancel routes
+//	                             under /api/v1/streams/{id} — see
+//	                             streams.go)
 //	GET    /healthz              liveness
 //	GET    /metrics              Prometheus-style text exposition
 //	GET    /debug/pprof/         only with Config.EnablePprof
@@ -58,6 +62,9 @@ type Config struct {
 	// Store serves the /api/v1/results endpoints; nil disables them
 	// (404 with an explanatory error).
 	Store *store.Store
+	// Streams serves the /api/v1/streams endpoints (incremental scoring
+	// over chunked measurement uploads); nil disables them.
+	Streams *jobs.StreamManager
 	// Cache, when set, feeds the cache hit/miss gauges of /metrics.
 	Cache *cache.Store
 	// Log receives request logs; nil means slog.Default.
@@ -104,6 +111,15 @@ func New(cfg Config) *Server {
 	s.handle("GET /api/v1/results", s.handleListResults)
 	s.handle("GET /api/v1/results/{key}", s.handleGetResult)
 	s.handle("GET /api/v1/suites", s.handleSuites)
+	if cfg.Streams != nil {
+		s.handle("POST /api/v1/streams", s.handleOpenStream)
+		s.handle("GET /api/v1/streams", s.handleListStreams)
+		s.handle("GET /api/v1/streams/{id}", s.handleGetStream)
+		s.handle("POST /api/v1/streams/{id}/chunks", s.handleStreamChunk)
+		s.handle("GET /api/v1/streams/{id}/scores", s.handleStreamScores)
+		s.handle("POST /api/v1/streams/{id}/close", s.handleCloseStream)
+		s.handle("DELETE /api/v1/streams/{id}", s.handleCancelStream)
+	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	if cfg.Coordinator != nil {
@@ -404,6 +420,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.Write(w, s.cfg.Queue, s.cfg.Store, s.cfg.Cache)
+	if s.cfg.Streams != nil {
+		writeStreamMetrics(w, s.cfg.Streams.Telemetry())
+	}
 	if s.cfg.Coordinator != nil {
 		writeFleetMetrics(w, s.cfg.Coordinator.Status())
 	}

@@ -1,0 +1,196 @@
+package server
+
+// Streaming-score endpoints: transport over jobs.StreamManager. A client
+// opens a stream naming the suites it will feed, POSTs measurement
+// chunks as workloads execute, and long-polls the evolving ScoreSet;
+// closing seals the stream and persists the final result under its
+// content-addressed key. Status mapping follows the job endpoints:
+// admission limits are 429, draining is 503, appends to a sealed stream
+// are 409.
+//
+//	POST   /api/v1/streams                    open a stream (201)
+//	GET    /api/v1/streams                    list streams, oldest first
+//	GET    /api/v1/streams/{id}               poll one stream
+//	POST   /api/v1/streams/{id}/chunks        append one measurement chunk
+//	GET    /api/v1/streams/{id}/scores        latest scores; ?since=N&wait=1
+//	                                          long-polls past version N
+//	POST   /api/v1/streams/{id}/close         seal; final scores persist
+//	DELETE /api/v1/streams/{id}               cancel
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"perspector/internal/jobs"
+)
+
+// maxChunkBodyBytes bounds one chunk upload; far above any sane
+// increment but small enough that a runaway client cannot balloon the
+// heap before validation rejects the chunk.
+const maxChunkBodyBytes = 8 << 20
+
+// streamError maps stream-layer errors onto HTTP statuses.
+func (s *Server) streamError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, jobs.ErrStreamNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, jobs.ErrStreamClosed):
+		code = http.StatusConflict
+	case errors.Is(err, jobs.ErrStreamLimit), errors.Is(err, jobs.ErrStreamBacklog):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	s.writeError(w, code, "%v", err)
+}
+
+// streamQuota applies the per-tenant token bucket shared with job
+// submission; streams and chunk appends draw from the same budget.
+func (s *Server) streamQuota(w http.ResponseWriter, r *http.Request) bool {
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	if ok, retry := s.cfg.Quota.Allow(tenant); !ok {
+		s.metrics.ObserveQuotaRejection(tenant)
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		s.writeError(w, http.StatusTooManyRequests, "tenant %q is over its submission quota", tenant)
+		return false
+	}
+	return true
+}
+
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleOpenStream(w http.ResponseWriter, r *http.Request) {
+	if !s.streamQuota(w, r) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxChunkBodyBytes)
+	var req jobs.StreamOpenRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	snap, err := s.cfg.Streams.Open(req)
+	if err != nil {
+		s.streamError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/api/v1/streams/"+snap.ID)
+	s.writeJSON(w, http.StatusCreated, snap)
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"streams": s.cfg.Streams.List()})
+}
+
+func (s *Server) handleGetStream(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.cfg.Streams.Get(r.PathValue("id"))
+	if err != nil {
+		s.streamError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleStreamChunk(w http.ResponseWriter, r *http.Request) {
+	if !s.streamQuota(w, r) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxChunkBodyBytes)
+	var chunk jobs.StreamChunk
+	if err := decodeStrict(r.Body, &chunk); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding chunk: %v", err)
+		return
+	}
+	snap, err := s.cfg.Streams.Append(r.PathValue("id"), chunk)
+	if err != nil {
+		s.streamError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, snap)
+}
+
+func (s *Server) handleStreamScores(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	// Non-blocking by default: since=-1 returns the current state even
+	// before the first published version. With wait=1 the call parks
+	// until the published version exceeds since (or the stream ends, or
+	// the client gives up) — the tail-follow loop is
+	// "?since=<last Seq>&wait=1" repeated.
+	since := int64(-1)
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad since %q: %v", v, err)
+			return
+		}
+		since = n
+	}
+	if wait := q.Get("wait"); !(wait == "1" || wait == "true") {
+		since = -1
+	} else if since < 0 {
+		since = 0
+	}
+	sc, err := s.cfg.Streams.Scores(r.Context(), id, since)
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			s.writeError(w, http.StatusServiceUnavailable, "client disconnected while waiting")
+			return
+		}
+		s.streamError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sc)
+}
+
+func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.cfg.Streams.Close(r.PathValue("id"))
+	if err != nil {
+		s.streamError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleCancelStream(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.cfg.Streams.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.streamError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+// writeStreamMetrics renders the streaming gauges and the rescore
+// latency histogram, read live from the manager at exposition time.
+func writeStreamMetrics(w io.Writer, tel jobs.StreamTelemetry) {
+	fmt.Fprintln(w, "# HELP perspectord_streams Streams by lifecycle state.")
+	fmt.Fprintln(w, "# TYPE perspectord_streams gauge")
+	for _, state := range jobs.StreamStates() {
+		fmt.Fprintf(w, "perspectord_streams{state=%q} %d\n", string(state), tel.States[state])
+	}
+	fmt.Fprintln(w, "# HELP perspectord_streams_active Streams not yet terminal.")
+	fmt.Fprintln(w, "# TYPE perspectord_streams_active gauge")
+	fmt.Fprintf(w, "perspectord_streams_active %d\n", tel.Active)
+	fmt.Fprintln(w, "# HELP perspectord_stream_chunks_total Measurement chunks accepted into streams.")
+	fmt.Fprintln(w, "# TYPE perspectord_stream_chunks_total counter")
+	fmt.Fprintf(w, "perspectord_stream_chunks_total %d\n", tel.ChunksTotal)
+	fmt.Fprintln(w, "# HELP perspectord_stream_rejections_total Stream opens and chunks refused for admission limits.")
+	fmt.Fprintln(w, "# TYPE perspectord_stream_rejections_total counter")
+	fmt.Fprintf(w, "perspectord_stream_rejections_total %d\n", tel.Rejected)
+	fmt.Fprintln(w, "# HELP perspectord_stream_rescore_seconds Incremental rescore latency per applied chunk batch.")
+	fmt.Fprintln(w, "# TYPE perspectord_stream_rescore_seconds histogram")
+	writeHistogram(w, "perspectord_stream_rescore_seconds", "", tel.Rescores)
+}

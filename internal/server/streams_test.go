@@ -1,0 +1,258 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"perspector/internal/jobs"
+	"perspector/internal/metric"
+	"perspector/internal/perf"
+	"perspector/internal/server"
+	"perspector/internal/store"
+)
+
+// streamChunkBody fabricates a deterministic chunk for every counter.
+func streamChunkBody(seed int64, names ...string) jobs.StreamChunk {
+	rnd := rand.New(rand.NewSource(seed))
+	nc := len(perf.AllCounters())
+	c := jobs.StreamChunk{}
+	for _, name := range names {
+		w := jobs.ChunkWorkload{Name: name, Totals: make([]uint64, nc), Series: make([][]float64, nc)}
+		for k := 0; k < nc; k++ {
+			w.Totals[k] = uint64(rnd.Intn(4000))
+			for t := 0; t < 4; t++ {
+				w.Series[k] = append(w.Series[k], float64(rnd.Intn(150)))
+			}
+		}
+		c.Workloads = append(c.Workloads, w)
+	}
+	return c
+}
+
+// foldChunk applies a chunk to the reference measurement the way the
+// stream does, for the batch oracle.
+func foldChunk(sm *perf.SuiteMeasurement, c jobs.StreamChunk, interval uint64) {
+	for _, w := range c.Workloads {
+		idx := -1
+		for i := range sm.Workloads {
+			if sm.Workloads[i].Workload == w.Name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			sm.Workloads = append(sm.Workloads, perf.Measurement{Workload: w.Name})
+			idx = len(sm.Workloads) - 1
+		}
+		m := &sm.Workloads[idx]
+		for k, counter := range perf.AllCounters() {
+			m.Totals[counter] += w.Totals[k]
+			if len(w.Series[k]) > 0 {
+				m.Series.Interval = interval
+				m.Series.Samples[counter] = append(m.Series.Samples[counter], w.Series[k]...)
+			}
+		}
+	}
+}
+
+// TestStreamAPIEndToEnd exercises the full streaming-score HTTP path:
+// open, chunked appends, long-polled evolving scores, close — and
+// requires the final ScoreSet to be bit-identical to the batch engine
+// over the assembled measurement, persisted under the stream's
+// content-addressed key, with /metrics accounting for the stream.
+func TestStreamAPIEndToEnd(t *testing.T) {
+	var sm *jobs.StreamManager
+	env := newEnv(t, stubRunner{}.run, jobs.Options{Workers: 1}, func(cfg *server.Config) {
+		sm = jobs.NewStreamManager(jobs.StreamOptions{Store: cfg.Store, Log: discardLog()})
+		cfg.Streams = sm
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sm.Drain(ctx)
+	})
+
+	const interval = 500
+	code, data := env.do(t, "POST", "/api/v1/streams",
+		jobs.StreamOpenRequest{Suites: []string{"live"}, SampleInterval: interval})
+	if code != http.StatusCreated {
+		t.Fatalf("open: %d %s", code, data)
+	}
+	var snap jobs.StreamSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != jobs.StreamOpen || snap.Key == "" {
+		t.Fatalf("open snapshot: %+v", snap)
+	}
+
+	expected := &perf.SuiteMeasurement{Suite: "live"}
+	chunks := []jobs.StreamChunk{
+		streamChunkBody(1, "w0", "w1", "w2"),
+		streamChunkBody(2, "w1", "w3"),
+	}
+	var seq int64
+	for i, c := range chunks {
+		code, data = env.do(t, "POST", "/api/v1/streams/"+snap.ID+"/chunks", c)
+		if code != http.StatusAccepted {
+			t.Fatalf("chunk %d: %d %s", i, code, data)
+		}
+		foldChunk(expected, c, interval)
+		// Long-poll until this chunk's rescore publishes.
+		code, data = env.do(t, "GET",
+			fmt.Sprintf("/api/v1/streams/%s/scores?since=%d&wait=1", snap.ID, seq), nil)
+		if code != http.StatusOK {
+			t.Fatalf("scores after chunk %d: %d %s", i, code, data)
+		}
+		var sc jobs.StreamScores
+		if err := json.Unmarshal(data, &sc); err != nil {
+			t.Fatal(err)
+		}
+		if sc.Seq <= seq || sc.Error != nil || sc.Scores == nil {
+			t.Fatalf("scores after chunk %d: %+v", i, sc)
+		}
+		seq = sc.Seq
+	}
+
+	code, data = env.do(t, "POST", "/api/v1/streams/"+snap.ID+"/close", nil)
+	if code != http.StatusOK {
+		t.Fatalf("close: %d %s", code, data)
+	}
+	// Poll (non-blocking is fine: close already applied everything, but
+	// the terminal transition is asynchronous).
+	var final jobs.StreamScores
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, data = env.do(t, "GET", "/api/v1/streams/"+snap.ID+"/scores", nil)
+		if code != http.StatusOK {
+			t.Fatalf("final scores: %d %s", code, data)
+		}
+		if err := json.Unmarshal(data, &final); err != nil {
+			t.Fatal(err)
+		}
+		if final.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never terminal: %+v", final.StreamSnapshot)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.State != jobs.StreamDone || final.Scores == nil {
+		t.Fatalf("final: %+v", final.StreamSnapshot)
+	}
+
+	// Bit-identity: the streamed result equals a one-shot batch score of
+	// the assembled measurement.
+	want, err := metric.ScoreSuites(context.Background(),
+		[]*perf.SuiteMeasurement{expected}, metric.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := final.Scores.Scores()
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("streamed scores diverge from batch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The final result is fetchable from the result store by stream key.
+	code, data = env.do(t, "GET", "/api/v1/results/"+final.Key, nil)
+	if code != http.StatusOK {
+		t.Fatalf("stored result: %d %s", code, data)
+	}
+	var stored store.ScoreSet
+	if err := json.Unmarshal(data, &stored); err != nil {
+		t.Fatal(err)
+	}
+	if stored.Source != "stream" || stored.Suites[0] != final.Scores.Suites[0] {
+		t.Fatalf("stored = %+v, want %+v", stored, *final.Scores)
+	}
+
+	// /metrics accounts for the stream.
+	code, data = env.do(t, "GET", "/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	text := string(data)
+	if v := metricValue(t, text, `perspectord_streams{state="done"}`); v != 1 {
+		t.Fatalf("streams done = %g, want 1", v)
+	}
+	if v := metricValue(t, text, "perspectord_stream_chunks_total"); v != float64(len(chunks)) {
+		t.Fatalf("chunks total = %g, want %d", v, len(chunks))
+	}
+	if v := metricValue(t, text, "perspectord_stream_rescore_seconds_count"); v < float64(len(chunks)) {
+		t.Fatalf("rescore count = %g, want >= %d", v, len(chunks))
+	}
+	if !strings.Contains(text, "perspectord_stream_rescore_seconds_bucket{le=\"+Inf\"}") {
+		t.Fatal("rescore histogram buckets missing")
+	}
+
+	// Appends to the sealed stream are 409; unknown streams are 404.
+	if code, _ = env.do(t, "POST", "/api/v1/streams/"+snap.ID+"/chunks", chunks[0]); code != http.StatusConflict {
+		t.Fatalf("append after close: %d, want 409", code)
+	}
+	if code, _ = env.do(t, "GET", "/api/v1/streams/s-999999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown stream: %d, want 404", code)
+	}
+	if code, _ = env.do(t, "POST", "/api/v1/streams", jobs.StreamOpenRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("bad open: %d, want 400", code)
+	}
+
+	// Listing shows the stream.
+	code, data = env.do(t, "GET", "/api/v1/streams", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	var list struct {
+		Streams []jobs.StreamSnapshot `json:"streams"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Streams) != 1 || list.Streams[0].ID != snap.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+// TestStreamAPICancel covers DELETE: the stream lands in canceled and
+// its slot frees for admission.
+func TestStreamAPICancel(t *testing.T) {
+	var sm *jobs.StreamManager
+	env := newEnv(t, stubRunner{}.run, jobs.Options{Workers: 1}, func(cfg *server.Config) {
+		sm = jobs.NewStreamManager(jobs.StreamOptions{MaxStreams: 1, Log: discardLog()})
+		cfg.Streams = sm
+	})
+	code, data := env.do(t, "POST", "/api/v1/streams", jobs.StreamOpenRequest{Suites: []string{"a"}})
+	if code != http.StatusCreated {
+		t.Fatalf("open: %d %s", code, data)
+	}
+	var snap jobs.StreamSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	// Admission bound: a second open while the first is live is 429.
+	if code, _ = env.do(t, "POST", "/api/v1/streams", jobs.StreamOpenRequest{Suites: []string{"b"}}); code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit open: %d, want 429", code)
+	}
+	code, data = env.do(t, "DELETE", "/api/v1/streams/"+snap.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", code, data)
+	}
+	done, err := sm.Done(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled stream never finished")
+	}
+	if code, _ = env.do(t, "POST", "/api/v1/streams", jobs.StreamOpenRequest{Suites: []string{"b"}}); code != http.StatusCreated {
+		t.Fatalf("open after cancel: %d, want 201", code)
+	}
+}
