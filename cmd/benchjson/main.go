@@ -30,6 +30,30 @@
 // of -check-rounds runs: scheduling noise on shared runners only ever
 // slows a run down, so the fastest observation is the least contaminated
 // one.
+//
+// With -check-history <jsonl>, the run is additionally gated against the
+// accumulated history distribution: each instr/sec-bearing benchmark
+// must not fall below a low percentile (default p10, with slack) of the
+// last K runs recorded on the same machine class (goos/goarch). Unlike
+// the fixed-tolerance snapshot check, this floor tracks what the machine
+// class actually sustains, and it refuses to judge (inconclusive pass)
+// when the history holds too few same-class runs.
+//
+// The compare subcommand is the paired same-moment A/B primitive the CI
+// regression gate runs:
+//
+//	go run ./cmd/benchjson compare -a SimulateSuite -rounds 5 -out verdict.json
+//
+// It measures A and B back-to-back in each round (interleaved, so slow
+// machine moments hit both sides of a pair), judges the best-of-N ns/op
+// delta against a noise band estimated from the rounds themselves
+// (internal/perfhist.Compare), writes a machine-readable Verdict, and
+// exits non-zero on a statistically significant regression. With -b
+// omitted, B is the same benchmark as A — a no-change self-comparison
+// that must pass, which CI runs to validate the comparator itself. The
+// -inject-slowdown knob multiplies B's observed ns/op to prove the gate
+// fires on a real slowdown (the synthetic-regression self-test journaled
+// in EXPERIMENTS.md).
 package main
 
 import (
@@ -51,32 +75,18 @@ import (
 	"perspector/internal/buildinfo"
 	"perspector/internal/metric"
 	"perspector/internal/perf"
+	"perspector/internal/perfhist"
 	"perspector/internal/rng"
 	"perspector/internal/trace"
 	"perspector/internal/uarch"
 )
 
-// result is one benchmark's measurement.
-type result struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
-	// Iterations is the b.N the driver settled on.
-	Iterations int `json:"iterations"`
-	// SimulatedInstrPerOp is how many simulated instructions one op
-	// executes (0 for benchmarks that are not instruction-granular).
-	SimulatedInstrPerOp uint64 `json:"simulated_instr_per_op,omitempty"`
-	// SimulatedInstrPerSec is the headline throughput figure.
-	SimulatedInstrPerSec float64 `json:"simulated_instr_per_sec,omitempty"`
-}
+// The report schema is owned by internal/perfhist — Record is one run,
+// Benchmark one measurement — so this producer, the perspectord history
+// service, and the obscheck validator share a single codec.
+type result = perfhist.Benchmark
 
-type report struct {
-	GeneratedAt time.Time `json:"generated_at"`
-	GitSHA      string    `json:"git_sha,omitempty"`
-	GoVersion   string    `json:"go_version"`
-	GOOS        string    `json:"goos"`
-	GOARCH      string    `json:"goarch"`
-	Benchmarks  []result  `json:"benchmarks"`
-}
+type report = perfhist.Record
 
 // gitSHA resolves the current commit: the VCS stamp when the build
 // recorded one (go build), falling back to asking git (go run strips the
@@ -97,22 +107,75 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// benchSpec is one registered benchmark: the record mode runs all of
+// them, the compare subcommand picks sides by name.
+type benchSpec struct {
+	name       string
+	instrPerOp func() uint64
+	body       func(b *testing.B)
+}
+
+var benchRegistry = []benchSpec{
+	{"SimulateSuite", suiteInstr, benchSimulateSuite},
+	{"SimulateSuiteTotalsOnly", suiteInstr, benchSimulateSuiteTotalsOnly},
+	{"SimulateWorkload", workloadInstr, benchSimulateWorkload},
+	{"StreamIngest", streamInstr, benchStreamIngest},
+	{"FullRescore", nil, benchFullRescore},
+	{"IncrRescore", nil, benchIncrRescore},
+	{"MachineStep", func() uint64 { return 1 }, benchMachineStep},
+	{"CacheAccess", nil, benchCacheAccess},
+	{"TLBTranslate", nil, benchTLBTranslate},
+}
+
+func lookupBench(name string) (benchSpec, bool) {
+	for _, b := range benchRegistry {
+		if b.name == name {
+			return b, true
+		}
+	}
+	return benchSpec{}, false
+}
+
+func benchNames() string {
+	names := make([]string, len(benchRegistry))
+	for i, b := range benchRegistry {
+		names[i] = b.name
+	}
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	testing.Init() // register test.* flags so benchtime can be set below
-	out := flag.String("out", "BENCH_simulator.json", "output path for the latest snapshot")
-	history := flag.String("history", "BENCH_history.jsonl", "append the run to this JSONL history (empty disables)")
-	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
-	check := flag.String("check", "", "compare suite-level instr/sec against this committed snapshot and fail on regression")
-	checkTolerance := flag.Float64("check-tolerance", 0.10, "relative regression allowed by -check")
-	checkRounds := flag.Int("check-rounds", 3, "suite benchmark repetitions; the best round is kept")
-	flag.Parse()
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		runCompare(os.Args[2:])
+		return
+	}
+	runRecord(os.Args[1:])
+}
+
+// runRecord is the default mode: run every registered benchmark, write
+// the snapshot, append to the history, and apply the requested gates.
+func runRecord(args []string) {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	out := fs.String("out", "BENCH_simulator.json", "output path for the latest snapshot")
+	history := fs.String("history", "BENCH_history.jsonl", "append the run to this JSONL history (empty disables)")
+	benchtime := fs.Duration("benchtime", time.Second, "minimum run time per benchmark")
+	note := fs.String("note", "", "free-form origin tag recorded with the run (e.g. ci)")
+	check := fs.String("check", "", "compare suite-level instr/sec against this committed snapshot and fail on regression")
+	checkTolerance := fs.Float64("check-tolerance", 0.10, "relative regression allowed by -check")
+	checkRounds := fs.Int("check-rounds", 3, "suite benchmark repetitions; the best round is kept")
+	checkHistory := fs.String("check-history", "", "gate instr/sec-bearing benchmarks against this history's distribution")
+	gateLastK := fs.Int("gate-last-k", 10, "reference window for -check-history: last K same-class runs")
+	gatePercentile := fs.Float64("gate-percentile", 10, "low percentile of the reference window a run must not fall below")
+	gateMinRuns := fs.Int("gate-min-runs", 3, "same-class runs required before -check-history will judge")
+	fs.Parse(args)
 	// The driver reads the package-level benchtime; there is no public
 	// per-run knob, so set it the way `go test -benchtime` would.
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fatal(err)
 	}
 	rounds := 1
-	if *check != "" && *checkRounds > 1 {
+	if (*check != "" || *checkHistory != "") && *checkRounds > 1 {
 		rounds = *checkRounds
 	}
 
@@ -122,25 +185,16 @@ func main() {
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		Rounds:      rounds,
+		Note:        *note,
 	}
-	for _, bench := range []struct {
-		name       string
-		instrPerOp func() uint64
-		rounds     int
-		body       func(b *testing.B)
-	}{
-		{"SimulateSuite", suiteInstr, rounds, benchSimulateSuite},
-		{"SimulateSuiteTotalsOnly", suiteInstr, 1, benchSimulateSuiteTotalsOnly},
-		{"SimulateWorkload", workloadInstr, 1, benchSimulateWorkload},
-		{"StreamIngest", streamInstr, 1, benchStreamIngest},
-		{"FullRescore", nil, 1, benchFullRescore},
-		{"IncrRescore", nil, 1, benchIncrRescore},
-		{"MachineStep", func() uint64 { return 1 }, 1, benchMachineStep},
-		{"CacheAccess", nil, 1, benchCacheAccess},
-		{"TLBTranslate", nil, 1, benchTLBTranslate},
-	} {
+	for _, bench := range benchRegistry {
+		benchRounds := 1
+		if bench.name == "SimulateSuite" {
+			benchRounds = rounds
+		}
 		var r testing.BenchmarkResult
-		for round := 0; round < bench.rounds; round++ {
+		for round := 0; round < benchRounds; round++ {
 			got := testing.Benchmark(bench.body)
 			if got.N == 0 {
 				fmt.Fprintf(os.Stderr, "benchjson: %s did not run (benchmark failed?)\n", bench.name)
@@ -175,16 +229,130 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
+	// Gate against the history distribution as it stood BEFORE this run
+	// is appended, so a run is never its own reference.
+	var gateErr error
+	if *checkHistory != "" {
+		gateErr = checkAgainstHistory(*checkHistory, rep, perfhist.GateOptions{
+			LastK:      *gateLastK,
+			Percentile: *gatePercentile,
+			MinRuns:    *gateMinRuns,
+		})
+	}
 	if *history != "" {
 		if err := appendHistory(*history, rep); err != nil {
 			fatal(err)
 		}
+	}
+	if gateErr != nil {
+		fatal(gateErr)
 	}
 	if *check != "" {
 		if err := checkRegression(*check, rep, *checkTolerance); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// runCompare is the paired same-moment A/B gate: measure A and B
+// interleaved for -rounds rounds, judge through perfhist.Compare, and
+// exit non-zero on a significant regression.
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("benchjson compare", flag.ExitOnError)
+	aName := fs.String("a", "SimulateSuite", "baseline benchmark ("+benchNames()+")")
+	bName := fs.String("b", "", "candidate benchmark (default: same as -a, a no-change self-comparison)")
+	rounds := fs.Int("rounds", 5, "interleaved (A,B) round pairs")
+	benchtime := fs.Duration("benchtime", time.Second, "minimum run time per benchmark round")
+	out := fs.String("out", "", "write the machine-readable verdict JSON here (the CI job artifact)")
+	inject := fs.Float64("inject-slowdown", 1, "multiply B's observed ns/op — synthetic-regression self-test knob")
+	minEffect := fs.Float64("min-effect", 0.02, "relative change too small to flag even above the noise band")
+	noiseMult := fs.Float64("noise-mult", 2, "noise multiplier in the significance band")
+	fs.Parse(args)
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fatal(err)
+	}
+	if *bName == "" {
+		*bName = *aName
+	}
+	a, ok := lookupBench(*aName)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q (have %s)", *aName, benchNames()))
+	}
+	bb, ok := lookupBench(*bName)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q (have %s)", *bName, benchNames()))
+	}
+	if *rounds < 1 {
+		fatal(fmt.Errorf("compare needs at least one round"))
+	}
+	label := a.name
+	if bb.name != a.name {
+		label = a.name + " vs " + bb.name
+	}
+	var aNs, bNs []float64
+	for round := 0; round < *rounds; round++ {
+		ra := testing.Benchmark(a.body)
+		rb := testing.Benchmark(bb.body)
+		if ra.N == 0 || rb.N == 0 {
+			fatal(fmt.Errorf("round %d did not run (benchmark failed?)", round))
+		}
+		aNs = append(aNs, nsPerOp(ra))
+		bNs = append(bNs, nsPerOp(rb)**inject)
+		fmt.Printf("round %d/%d: A %.3g ns/op, B %.3g ns/op\n",
+			round+1, *rounds, aNs[round], bNs[round])
+	}
+	v, err := perfhist.Compare(context.Background(), label, aNs, bNs, perfhist.CompareOptions{
+		MinEffect: *minEffect,
+		NoiseMult: *noiseMult,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(v.Summary)
+	if *out != "" {
+		buf, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if v.Regressed {
+		os.Exit(1)
+	}
+}
+
+// checkAgainstHistory gates every instr/sec-bearing benchmark of the
+// run against the history distribution: fail when one lands below the
+// configured percentile of the last K same-machine-class runs.
+func checkAgainstHistory(path string, rep report, opt perfhist.GateOptions) error {
+	ctx := context.Background()
+	h, err := perfhist.Load(ctx, path)
+	if err != nil {
+		return err
+	}
+	class := rep.Class()
+	var failed []string
+	for _, b := range rep.Benchmarks {
+		if b.SimulatedInstrPerSec <= 0 {
+			continue
+		}
+		res := h.Gate(ctx, b.Name, class, b.SimulatedInstrPerSec, opt)
+		switch {
+		case res.Inconclusive:
+			fmt.Printf("check-history: %-24s inconclusive: %s\n", b.Name, res.Reason)
+		case res.Pass:
+			fmt.Printf("check-history: %-24s %.3g instr/sec ≥ p%g floor %.3g (%d %s/%s runs)\n",
+				b.Name, res.Current, res.Percentile, res.Floor, res.ReferenceRuns, class.GOOS, class.GOARCH)
+		default:
+			failed = append(failed, res.Reason)
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("history gate: %s", strings.Join(failed, "; "))
+	}
+	return nil
 }
 
 func nsPerOp(r testing.BenchmarkResult) float64 {

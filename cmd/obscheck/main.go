@@ -5,14 +5,17 @@
 // the structural invariants the recorder guarantees (unique span ids,
 // parent/child interval containment, per-track nesting discipline,
 // named tracks, manifest schema and ratio bounds), and exits non-zero
-// with one line per violation.
+// with one line per violation. With -bench-history it also validates a
+// benchjson BENCH_history.jsonl log (record schema, positive timings,
+// monotone timestamps per commit, no undecodable lines).
 //
 // Usage:
 //
-//	obscheck [-trace trace.json] [-manifest manifest.json]
+//	obscheck [-trace trace.json] [-manifest manifest.json] [-bench-history BENCH_history.jsonl]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,14 +23,16 @@ import (
 	"sort"
 
 	"perspector/internal/obs"
+	"perspector/internal/perfhist"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
 	manifestPath := flag.String("manifest", "", "run manifest JSON to validate")
+	historyPath := flag.String("bench-history", "", "benchjson history JSONL to validate")
 	flag.Parse()
-	if *tracePath == "" && *manifestPath == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: at least one of -trace or -manifest is required")
+	if *tracePath == "" && *manifestPath == "" && *historyPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: at least one of -trace, -manifest or -bench-history is required")
 		os.Exit(2)
 	}
 	var errs []string
@@ -36,6 +41,9 @@ func main() {
 	}
 	if *manifestPath != "" {
 		errs = append(errs, checkManifest(*manifestPath)...)
+	}
+	if *historyPath != "" {
+		errs = append(errs, checkHistory(*historyPath)...)
 	}
 	if len(errs) > 0 {
 		for _, e := range errs {
@@ -241,6 +249,27 @@ func checkManifest(path string) (errs []string) {
 	if len(errs) == 0 {
 		fmt.Printf("manifest ok: %d stages, %d workers, %d spans in %.3fs\n",
 			len(m.Stages), len(m.Workers), m.Spans, m.WallSeconds)
+	}
+	return errs
+}
+
+// checkHistory validates a benchjson history log: every line must
+// decode to a well-formed record (no torn tails tolerated here — CI
+// writes the file it checks, so corruption is a real failure), and
+// timestamps must be monotone per commit in file order.
+func checkHistory(path string) (errs []string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return []string{"history: " + err.Error()}
+	}
+	defer f.Close()
+	for _, v := range perfhist.CheckLog(f) {
+		errs = append(errs, "history: "+v)
+	}
+	if len(errs) == 0 {
+		if hist, err := perfhist.Load(context.Background(), path); err == nil {
+			fmt.Printf("history ok: %d records\n", len(hist.Records))
+		}
 	}
 	return errs
 }

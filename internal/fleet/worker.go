@@ -281,14 +281,20 @@ func (w *Worker) releaseSlot() {
 // replica (a result another node computed and replicated arrives as a
 // free replay), and the measurement cache under the runner.
 func (w *Worker) execute(d Dispatch) {
+	// The dispatch carries the submitting request's trace ID inside its
+	// Request; it tags this worker's logs and rides the results push
+	// back, so one grep over fleet logs reconstructs the job's path.
+	rid := d.Request.RequestID
 	snap, _, err := w.opt.Queue.Submit(d.Request)
 	if err != nil {
-		w.pushResult(ResultPush{
+		w.pushResult(rid, ResultPush{
 			NodeID: w.opt.NodeID, DispatchID: d.ID, Key: d.Key,
 			Error: &jobs.ErrorInfo{Message: fmt.Sprintf("worker %s admission: %v", w.opt.NodeID, err)},
 		})
 		return
 	}
+	w.opt.Log.Info("dispatch accepted", "dispatch", d.ID, "key", d.Key,
+		"job", snap.ID, "request_id", rid)
 	w.mu.Lock()
 	w.local[d.ID] = snap.ID
 	w.mu.Unlock()
@@ -316,23 +322,27 @@ func (w *Worker) execute(d Dispatch) {
 		}
 		push.Error = info
 	}
-	w.pushResult(push)
+	w.pushResult(rid, push)
 }
 
 // pushResult streams one outcome back, retrying briefly — the
 // coordinator may be mid-restart. An undeliverable result is logged and
-// dropped; the coordinator's expiry path re-dispatches the job.
-func (w *Worker) pushResult(push ResultPush) {
+// dropped; the coordinator's expiry path re-dispatches the job. The
+// originating request's trace ID travels as X-Request-ID, so the
+// coordinator's request log for the push carries the same ID as the
+// submission that caused it.
+func (w *Worker) pushResult(rid string, push ResultPush) {
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
 			time.Sleep(time.Duration(attempt) * 500 * time.Millisecond)
 		}
-		if err = w.post("/api/v1/fleet/results", push, nil); err == nil {
+		if err = w.postRID(context.Background(), rid, "/api/v1/fleet/results", push, nil); err == nil {
 			return
 		}
 	}
-	w.opt.Log.Error("result push failed", "dispatch", push.DispatchID, "key", push.Key, "error", err)
+	w.opt.Log.Error("result push failed", "dispatch", push.DispatchID, "key", push.Key,
+		"request_id", rid, "error", err)
 }
 
 func (w *Worker) join() (JoinResponse, error) {
@@ -376,10 +386,14 @@ func (w *Worker) post(path string, body, out any) error {
 	return w.postCtx(context.Background(), path, body, out)
 }
 
-// postCtx is the one HTTP call site: JSON in, JSON out, with the
-// coordinator's 404-on-unknown-node mapped to ErrUnknownNode so callers
-// can re-join.
 func (w *Worker) postCtx(ctx context.Context, path string, body, out any) error {
+	return w.postRID(ctx, "", path, body, out)
+}
+
+// postRID is the one HTTP call site: JSON in, JSON out, with the
+// coordinator's 404-on-unknown-node mapped to ErrUnknownNode so callers
+// can re-join. A non-empty rid travels as X-Request-ID.
+func (w *Worker) postRID(ctx context.Context, rid, path string, body, out any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("fleet: %w", err)
@@ -389,6 +403,9 @@ func (w *Worker) postCtx(ctx context.Context, path string, body, out any) error 
 		return fmt.Errorf("fleet: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if rid != "" {
+		req.Header.Set("X-Request-ID", rid)
+	}
 	resp, err := w.opt.Client.Do(req)
 	if err != nil {
 		return fmt.Errorf("fleet: %s: %w", path, err)

@@ -135,6 +135,9 @@ type Snapshot struct {
 	Group  string   `json:"group"`
 	Suites []string `json:"suites,omitempty"`
 	Trace  string   `json:"trace,omitempty"`
+	// RequestID is the trace ID of the submitting HTTP request; the same
+	// ID appears in every log line the job emits, on any node.
+	RequestID string `json:"request_id,omitempty"`
 
 	State State `json:"state"`
 	// Stage is the engine stage the job is in (or died in): "measure",
@@ -308,7 +311,7 @@ func (q *Queue) Submit(req Request) (Snapshot, bool, error) {
 	}
 	if j, ok := q.inflight[key]; ok {
 		j.deduped++
-		q.opt.Log.Info("job deduplicated", "job", j.id, "key", key)
+		q.opt.Log.Info("job deduplicated", "job", j.id, "key", key, "request_id", j.req.RequestID)
 		return q.snapshotLocked(j), true, nil
 	}
 	if q.counts[StateQueued] >= q.opt.MaxQueue {
@@ -328,7 +331,7 @@ func (q *Queue) Submit(req Request) (Snapshot, bool, error) {
 	q.inflight[key] = j
 	q.pending = append(q.pending, j)
 	q.counts[StateQueued]++
-	q.opt.Log.Info("job queued", "job", j.id, "key", key, "kind", req.Kind, "suites", req.Suites)
+	q.opt.Log.Info("job queued", "job", j.id, "key", key, "kind", req.Kind, "suites", req.Suites, "request_id", req.RequestID)
 	q.cond.Signal()
 	return q.snapshotLocked(j), false, nil
 }
@@ -365,7 +368,7 @@ func (q *Queue) worker() {
 		q.setStateLocked(j, StateRunning)
 		j.startedAt = time.Now()
 		q.mu.Unlock()
-		q.opt.Log.Info("job started", "job", j.id, "key", j.key)
+		q.opt.Log.Info("job started", "job", j.id, "key", j.key, "request_id", j.req.RequestID)
 
 		// Each executed job gets its own recorder; its fold lands in the
 		// queue aggregator at the terminal transition below. The replay
@@ -374,7 +377,8 @@ func (q *Queue) worker() {
 		rec := obs.NewRecorder()
 		rctx := obs.WithRecorder(ctx, rec)
 		rctx, jobSpan := obs.Start(rctx, "job",
-			obs.String("kind", j.req.Kind), obs.String("group", j.req.Group))
+			obs.String("kind", j.req.Kind), obs.String("group", j.req.Group),
+			obs.String("request_id", j.req.RequestID))
 
 		h := &Handle{q: q, job: j}
 		set, err := q.run(rctx, h)
@@ -480,9 +484,9 @@ func (q *Queue) finishLocked(j *Job, s State, err error) {
 	elapsed := j.finishedAt.Sub(j.createdAt)
 	switch {
 	case err != nil:
-		q.opt.Log.Info("job finished", "job", j.id, "state", string(s), "elapsed", elapsed, "error", err)
+		q.opt.Log.Info("job finished", "job", j.id, "state", string(s), "elapsed", elapsed, "request_id", j.req.RequestID, "error", err)
 	default:
-		q.opt.Log.Info("job finished", "job", j.id, "state", string(s), "elapsed", elapsed, "replayed", j.replayed)
+		q.opt.Log.Info("job finished", "job", j.id, "state", string(s), "elapsed", elapsed, "request_id", j.req.RequestID, "replayed", j.replayed)
 	}
 }
 
@@ -494,6 +498,7 @@ func (q *Queue) snapshotLocked(j *Job) Snapshot {
 		Kind:         j.req.Kind,
 		Group:        j.req.Group,
 		Suites:       append([]string(nil), j.req.Suites...),
+		RequestID:    j.req.RequestID,
 		State:        j.state,
 		Stage:        j.stage,
 		StageDone:    j.stageDone,

@@ -47,6 +47,14 @@ type Request struct {
 	// Trace, when set, scores uploaded measurements instead of
 	// simulating. Mutually exclusive with Suites and SuiteSpec.
 	Trace *TraceUpload `json:"trace,omitempty"`
+	// RequestID is the trace ID of the HTTP request that submitted the
+	// job (the server's X-Request-ID). It rides the fleet wire inside
+	// Dispatch, so one ID stitches a job's lifecycle across coordinator
+	// and worker logs. It is deliberately EXCLUDED from the content key
+	// (hashRequest): two submissions differing only in trace ID are the
+	// same job and must still deduplicate — a dedup fold keeps the
+	// first job's ID.
+	RequestID string `json:"request_id,omitempty"`
 	// SuiteSpec, when set, is an inline declarative suite-spec document
 	// (the -suite-file format). The suite builds and scores exactly like
 	// a registered one — for kind "score" on its own, for kind "compare"

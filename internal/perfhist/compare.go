@@ -1,0 +1,132 @@
+package perfhist
+
+import (
+	"context"
+	"fmt"
+
+	"perspector/internal/obs"
+	"perspector/internal/stat"
+)
+
+// CompareOptions tunes the paired A/B significance rule.
+type CompareOptions struct {
+	// MinEffect is the relative change too small to care about even if
+	// it clears the noise band (default 0.02 — 2%).
+	MinEffect float64
+	// NoiseMult scales the observed noise into the significance band
+	// (default 2: a delta must exceed twice the larger side's
+	// within-run spread).
+	NoiseMult float64
+}
+
+// DefaultCompareOptions returns the comparator defaults.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{MinEffect: 0.02, NoiseMult: 2}
+}
+
+func (o *CompareOptions) normalize() {
+	if o.MinEffect <= 0 {
+		o.MinEffect = 0.02
+	}
+	if o.NoiseMult <= 0 {
+		o.NoiseMult = 2
+	}
+}
+
+// Verdict is the machine-readable outcome of one paired A/B
+// comparison. A is the baseline; positive RelDelta means B is slower.
+type Verdict struct {
+	Bench string `json:"bench"`
+	// Rounds is how many interleaved (A,B) pairs were measured.
+	Rounds int `json:"rounds"`
+	// Best-of and median ns/op per side. Min is the point estimate:
+	// scheduling noise only ever slows a run down, so the fastest
+	// observation is the least contaminated one.
+	ABestNs   float64 `json:"a_best_ns_per_op"`
+	AMedianNs float64 `json:"a_median_ns_per_op"`
+	BBestNs   float64 `json:"b_best_ns_per_op"`
+	BMedianNs float64 `json:"b_median_ns_per_op"`
+	// RelDelta is (BBest − ABest) / ABest.
+	RelDelta float64 `json:"rel_delta"`
+	// Noise is the larger side's relative spread (median − min)/min —
+	// the machine's same-moment repeatability, measured from the very
+	// rounds being compared.
+	Noise float64 `json:"noise"`
+	// Band is what |RelDelta| had to exceed: NoiseMult·Noise + MinEffect.
+	Band float64 `json:"band"`
+	// Significant marks |RelDelta| > Band; Regressed additionally
+	// requires the slow direction (RelDelta > 0).
+	Significant bool `json:"significant"`
+	Regressed   bool `json:"regressed"`
+	// Summary is a one-line human rendering of the verdict.
+	Summary string `json:"summary"`
+}
+
+// Compare judges two interleaved best-of-N samples of ns/op. aNs[i]
+// and bNs[i] must come from the same round — A then B measured
+// back-to-back — so slow machine moments (thermal throttling, a noisy
+// neighbor) hit both sides of a pair rather than biasing one. This is
+// the "paired same-moment A/B" of the ROADMAP: naive mean-vs-mean of
+// two separate runs confounds the code change with whatever else the
+// machine was doing.
+//
+// The rule: point estimates are per-side minima, noise is the larger
+// side's relative spread (median−min)/min, and the delta is
+// significant only when it clears NoiseMult·noise + MinEffect. On a
+// quiet machine the band collapses to MinEffect; on a noisy one it
+// widens so honest jitter cannot fire the gate.
+func Compare(ctx context.Context, bench string, aNs, bNs []float64, opt CompareOptions) (Verdict, error) {
+	_, sp := obs.Start(ctx, "perfhist.compare", obs.String("bench", bench))
+	defer sp.End()
+	opt.normalize()
+	if len(aNs) == 0 || len(bNs) == 0 {
+		return Verdict{}, fmt.Errorf("perfhist: compare needs at least one round per side")
+	}
+	if len(aNs) != len(bNs) {
+		return Verdict{}, fmt.Errorf("perfhist: unpaired rounds: %d A vs %d B", len(aNs), len(bNs))
+	}
+	for i := range aNs {
+		if aNs[i] <= 0 || bNs[i] <= 0 {
+			return Verdict{}, fmt.Errorf("perfhist: non-positive ns/op in round %d", i)
+		}
+	}
+	v := Verdict{Bench: bench, Rounds: len(aNs)}
+	v.ABestNs, v.AMedianNs = bestAndMedian(aNs)
+	v.BBestNs, v.BMedianNs = bestAndMedian(bNs)
+	v.RelDelta = (v.BBestNs - v.ABestNs) / v.ABestNs
+	aNoise := (v.AMedianNs - v.ABestNs) / v.ABestNs
+	bNoise := (v.BMedianNs - v.BBestNs) / v.BBestNs
+	v.Noise = aNoise
+	if bNoise > v.Noise {
+		v.Noise = bNoise
+	}
+	v.Band = opt.NoiseMult*v.Noise + opt.MinEffect
+	v.Significant = v.RelDelta > v.Band || v.RelDelta < -v.Band
+	v.Regressed = v.Significant && v.RelDelta > 0
+	switch {
+	case v.Regressed:
+		v.Summary = fmt.Sprintf("%s: REGRESSED %+.1f%% (band ±%.1f%%, noise %.1f%%, %d rounds)",
+			bench, 100*v.RelDelta, 100*v.Band, 100*v.Noise, v.Rounds)
+	case v.Significant:
+		v.Summary = fmt.Sprintf("%s: improved %+.1f%% (band ±%.1f%%, noise %.1f%%, %d rounds)",
+			bench, 100*v.RelDelta, 100*v.Band, 100*v.Noise, v.Rounds)
+	default:
+		v.Summary = fmt.Sprintf("%s: no significant change (%+.1f%% within ±%.1f%%, noise %.1f%%, %d rounds)",
+			bench, 100*v.RelDelta, 100*v.Band, 100*v.Noise, v.Rounds)
+	}
+	sp.SetAttr("significant", fmt.Sprint(v.Significant))
+	sp.SetAttr("regressed", fmt.Sprint(v.Regressed))
+	return v, nil
+}
+
+// bestAndMedian returns the minimum and median of xs without mutating it.
+func bestAndMedian(xs []float64) (best, median float64) {
+	s := append([]float64(nil), xs...)
+	best = s[0]
+	for _, x := range s[1:] {
+		if x < best {
+			best = x
+		}
+	}
+	return best, stat.Percentile(s, 50)
+}

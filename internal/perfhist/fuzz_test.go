@@ -1,0 +1,32 @@
+package perfhist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the history decoder. The
+// invariants: Decode never errors on record-level garbage (only on
+// reader failure, which bytes.Reader cannot produce), never panics,
+// and every record it does return passes Validate — i.e. corruption is
+// counted in Skipped, never half-admitted.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"generated_at":"2026-08-01T00:00:00Z","goos":"linux","goarch":"amd64","go_version":"go1.24","benchmarks":[{"name":"B","ns_per_op":100,"iterations":3}]}` + "\n"))
+	f.Add([]byte(`{"generated_at":"2026-08-01T00:00:00Z","goos":"linux","goarch":"amd64","benchmarks":[{"name":"B","ns_per_op":1e308}]}` + "\n{torn"))
+	f.Add([]byte(`{"benchmarks":[{"name":"","ns_per_op":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("Decode errored on in-memory input: %v", err)
+		}
+		for i := range h.Records {
+			if err := h.Records[i].Validate(); err != nil {
+				t.Fatalf("admitted invalid record %d: %v", i, err)
+			}
+		}
+		// CheckLog must also never panic on the same input.
+		_ = CheckLog(bytes.NewReader(data))
+	})
+}

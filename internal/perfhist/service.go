@@ -1,0 +1,64 @@
+package perfhist
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+)
+
+// Service wraps a history file for serving: it reloads the JSONL
+// whenever the file's size or mtime changes, so perspectord's /perf
+// dashboard and trend endpoints stay live while benchjson appends new
+// runs — no restart, no watcher goroutine, just a cheap stat on each
+// query (the log changes a few times per day; a stat per request is
+// noise next to the JSON encode).
+type Service struct {
+	path string
+
+	mu      sync.Mutex
+	hist    *History
+	size    int64
+	modTime time.Time
+	loaded  bool
+}
+
+// NewService returns a service over the history file at path. The file
+// need not exist yet; it is (re)read lazily on first query.
+func NewService(path string) *Service {
+	return &Service{path: path}
+}
+
+// Path returns the history file path the service serves.
+func (s *Service) Path() string { return s.path }
+
+// History returns the current history, reloading from disk when the
+// file has changed since the last load. The returned History is shared
+// and must be treated as read-only.
+func (s *Service) History(ctx context.Context) (*History, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := os.Stat(s.path)
+	if os.IsNotExist(err) {
+		// Vanished (or never existed): serve empty, and forget the old
+		// stat so a recreated file triggers a reload.
+		s.hist = &History{}
+		s.loaded = true
+		s.size, s.modTime = 0, time.Time{}
+		return s.hist, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.loaded && st.Size() == s.size && st.ModTime().Equal(s.modTime) {
+		return s.hist, nil
+	}
+	h, err := Load(ctx, s.path)
+	if err != nil {
+		return nil, err
+	}
+	s.hist = h
+	s.size, s.modTime = st.Size(), st.ModTime()
+	s.loaded = true
+	return h, nil
+}

@@ -135,21 +135,21 @@ func writeFleetMetrics(w io.Writer, st fleet.Status) {
 	fmt.Fprintln(w, "# HELP perspectord_fleet_node_pending Dispatches queued for a node, by node.")
 	fmt.Fprintln(w, "# TYPE perspectord_fleet_node_pending gauge")
 	for _, n := range st.Nodes {
-		fmt.Fprintf(w, "perspectord_fleet_node_pending{node=%q} %d\n", n.NodeID, n.Pending)
+		fmt.Fprintf(w, "perspectord_fleet_node_pending{node=%s} %d\n", promLabel(n.NodeID), n.Pending)
 	}
 	fmt.Fprintln(w, "# HELP perspectord_fleet_node_dispatched_total Dispatches delivered to a node, by node.")
 	fmt.Fprintln(w, "# TYPE perspectord_fleet_node_dispatched_total counter")
 	for _, n := range st.Nodes {
-		fmt.Fprintf(w, "perspectord_fleet_node_dispatched_total{node=%q} %d\n", n.NodeID, n.Dispatched)
+		fmt.Fprintf(w, "perspectord_fleet_node_dispatched_total{node=%s} %d\n", promLabel(n.NodeID), n.Dispatched)
 	}
 	fmt.Fprintln(w, "# HELP perspectord_fleet_node_completed_total Results pushed back by a node, by node.")
 	fmt.Fprintln(w, "# TYPE perspectord_fleet_node_completed_total counter")
 	for _, n := range st.Nodes {
-		fmt.Fprintf(w, "perspectord_fleet_node_completed_total{node=%q} %d\n", n.NodeID, n.Completed)
+		fmt.Fprintf(w, "perspectord_fleet_node_completed_total{node=%s} %d\n", promLabel(n.NodeID), n.Completed)
 	}
 	fmt.Fprintln(w, "# HELP perspectord_fleet_node_instr_per_sec A node's reported simulated-instruction throughput EWMA, by node.")
 	fmt.Fprintln(w, "# TYPE perspectord_fleet_node_instr_per_sec gauge")
 	for _, n := range st.Nodes {
-		fmt.Fprintf(w, "perspectord_fleet_node_instr_per_sec{node=%q} %g\n", n.NodeID, n.InstrPerSec)
+		fmt.Fprintf(w, "perspectord_fleet_node_instr_per_sec{node=%s} %g\n", promLabel(n.NodeID), n.InstrPerSec)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -125,6 +126,33 @@ func (m *Metrics) snapshot() requestSnapshot {
 	return s
 }
 
+// promLabel renders a label value as a Prometheus-text-format quoted
+// string. The exposition format defines exactly three escapes in label
+// values — backslash, double quote and newline; everything else
+// (including tabs and non-ASCII) passes through raw. Go's %q is close
+// but over-escapes those into sequences the format does not define,
+// which a strict scraper rejects, so every label value below goes
+// through this instead.
+func promLabel(v string) string {
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 // writeHistogram renders one obs.StageAgg as a Prometheus histogram with
 // cumulative le buckets. labels is the rendered label set without the
 // braces ("" for none); the le label is appended to it.
@@ -166,19 +194,19 @@ func (m *Metrics) Write(w io.Writer, q *jobs.Queue, st *store.Store, cs *cache.S
 		}
 		sort.Ints(codes)
 		for _, c := range codes {
-			fmt.Fprintf(w, "perspectord_requests_total{route=%q,code=\"%d\"} %d\n", route, c, s.requests[route][c])
+			fmt.Fprintf(w, "perspectord_requests_total{route=%s,code=\"%d\"} %d\n", promLabel(route), c, s.requests[route][c])
 		}
 	}
 	fmt.Fprintln(w, "# HELP perspectord_request_duration_seconds Total request latency, by route.")
 	fmt.Fprintln(w, "# TYPE perspectord_request_duration_seconds summary")
 	for _, route := range s.routes {
-		fmt.Fprintf(w, "perspectord_request_duration_seconds_sum{route=%q} %g\n", route, s.latencySum[route])
-		fmt.Fprintf(w, "perspectord_request_duration_seconds_count{route=%q} %d\n", route, s.latencyCount[route])
+		fmt.Fprintf(w, "perspectord_request_duration_seconds_sum{route=%s} %g\n", promLabel(route), s.latencySum[route])
+		fmt.Fprintf(w, "perspectord_request_duration_seconds_count{route=%s} %d\n", promLabel(route), s.latencyCount[route])
 	}
 	fmt.Fprintln(w, "# HELP perspectord_quota_rejections_total Submissions rejected by per-tenant quota, by tenant.")
 	fmt.Fprintln(w, "# TYPE perspectord_quota_rejections_total counter")
 	for _, tenant := range s.tenants {
-		fmt.Fprintf(w, "perspectord_quota_rejections_total{tenant=%q} %d\n", tenant, s.quota[tenant])
+		fmt.Fprintf(w, "perspectord_quota_rejections_total{tenant=%s} %d\n", promLabel(tenant), s.quota[tenant])
 	}
 	fmt.Fprintln(w, "# HELP perspectord_backpressure_rejections_total Submissions rejected because the queue was full.")
 	fmt.Fprintln(w, "# TYPE perspectord_backpressure_rejections_total counter")
@@ -189,7 +217,7 @@ func (m *Metrics) Write(w io.Writer, q *jobs.Queue, st *store.Store, cs *cache.S
 		fmt.Fprintln(w, "# HELP perspectord_jobs Jobs by lifecycle state.")
 		fmt.Fprintln(w, "# TYPE perspectord_jobs gauge")
 		for _, state := range jobs.States() {
-			fmt.Fprintf(w, "perspectord_jobs{state=%q} %d\n", string(state), counts[state])
+			fmt.Fprintf(w, "perspectord_jobs{state=%s} %d\n", promLabel(string(state)), counts[state])
 		}
 		fmt.Fprintln(w, "# HELP perspectord_queue_depth Jobs waiting to run.")
 		fmt.Fprintln(w, "# TYPE perspectord_queue_depth gauge")
@@ -209,7 +237,7 @@ func (m *Metrics) Write(w io.Writer, q *jobs.Queue, st *store.Store, cs *cache.S
 		fmt.Fprintln(w, "# HELP perspectord_stage_duration_seconds Pipeline stage latency from job span folds, by stage.")
 		fmt.Fprintln(w, "# TYPE perspectord_stage_duration_seconds histogram")
 		for _, stg := range ts.Stages {
-			writeHistogram(w, "perspectord_stage_duration_seconds", fmt.Sprintf("stage=%q", stg.Name), stg.Agg)
+			writeHistogram(w, "perspectord_stage_duration_seconds", "stage="+promLabel(stg.Name), stg.Agg)
 		}
 		fmt.Fprintln(w, "# HELP perspectord_queue_wait_seconds Time executed jobs spent queued before starting.")
 		fmt.Fprintln(w, "# TYPE perspectord_queue_wait_seconds histogram")

@@ -1,0 +1,101 @@
+package server
+
+import (
+	_ "embed"
+	"net/http"
+
+	"perspector/internal/perfhist"
+)
+
+// perfDashboardHTML is the zero-dependency /perf page: inline CSS and
+// JS, SVG sparklines drawn client-side from /api/v1/perf/trends. No
+// external scripts, fonts or build step — the dashboard works on an
+// air-gapped runner.
+//
+//go:embed perfhist.html
+var perfDashboardHTML []byte
+
+// perfLatest is the build metadata of the newest history record,
+// surfaced so the dashboard can say what commit the trailing point is.
+type perfLatest struct {
+	GeneratedAt string `json:"generated_at"`
+	GitSHA      string `json:"git_sha,omitempty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+}
+
+// perfTrendsResponse is the /api/v1/perf/trends body.
+type perfTrendsResponse struct {
+	Path    string `json:"path"`
+	Records int    `json:"records"`
+	// Skipped counts history lines that did not decode (torn tail,
+	// hand edits) — surfaced, not hidden.
+	Skipped int `json:"skipped"`
+	// Class is the machine-class filter applied; zero means all
+	// classes folded together (display only — cross-class ns/op is not
+	// comparable, which is why the gates never do this).
+	Class      perfhist.Class   `json:"class"`
+	Latest     *perfLatest      `json:"latest,omitempty"`
+	Benchmarks []perfhist.Trend `json:"benchmarks"`
+}
+
+// handlePerfHistory serves the raw ingested records.
+func (s *Server) handlePerfHistory(w http.ResponseWriter, r *http.Request) {
+	h, err := s.cfg.PerfHist.History(r.Context())
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "loading perf history: %v", err)
+		return
+	}
+	records := h.Records
+	if records == nil {
+		records = []perfhist.Record{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"path":    s.cfg.PerfHist.Path(),
+		"skipped": h.Skipped,
+		"records": records,
+	})
+}
+
+// handlePerfTrends serves per-benchmark trend statistics. ?goos= and
+// ?goarch= filter to one machine class; without them every class folds
+// into one display trajectory.
+func (s *Server) handlePerfTrends(w http.ResponseWriter, r *http.Request) {
+	h, err := s.cfg.PerfHist.History(r.Context())
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "loading perf history: %v", err)
+		return
+	}
+	class := perfhist.Class{
+		GOOS:   r.URL.Query().Get("goos"),
+		GOARCH: r.URL.Query().Get("goarch"),
+	}
+	resp := perfTrendsResponse{
+		Path:       s.cfg.PerfHist.Path(),
+		Records:    len(h.Records),
+		Skipped:    h.Skipped,
+		Class:      class,
+		Benchmarks: h.Trends(r.Context(), class),
+	}
+	if resp.Benchmarks == nil {
+		resp.Benchmarks = []perfhist.Trend{}
+	}
+	if n := len(h.Records); n > 0 {
+		last := h.Records[n-1]
+		resp.Latest = &perfLatest{
+			GeneratedAt: last.GeneratedAt.UTC().Format("2006-01-02T15:04:05Z"),
+			GitSHA:      last.GitSHA,
+			GoVersion:   last.GoVersion,
+			GOOS:        last.GOOS,
+			GOARCH:      last.GOARCH,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePerfDashboard serves the embedded HTML dashboard.
+func (s *Server) handlePerfDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(perfDashboardHTML)
+}

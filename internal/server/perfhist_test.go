@@ -1,0 +1,250 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"perspector/internal/jobs"
+	"perspector/internal/perfhist"
+	"perspector/internal/server"
+)
+
+// histLine renders one history record as a JSONL line.
+func histLine(t *testing.T, sha string, at time.Time, bench string, nsPerOp, instrPerSec float64) string {
+	t.Helper()
+	rec := perfhist.Record{
+		GeneratedAt: at,
+		GitSHA:      sha,
+		GoVersion:   "go1.24",
+		GOOS:        "linux",
+		GOARCH:      "amd64",
+		Benchmarks: []perfhist.Benchmark{{
+			Name: bench, NsPerOp: nsPerOp, Iterations: 5,
+			SimulatedInstrPerSec: instrPerSec,
+		}},
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+func perfEnv(t *testing.T, histPath string) *testEnv {
+	t.Helper()
+	return newEnv(t, stubRunner{}.run, jobs.Options{Workers: 1}, func(cfg *server.Config) {
+		cfg.PerfHist = perfhist.NewService(histPath)
+	})
+}
+
+func TestPerfEndpointsServeLiveTrends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.jsonl")
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	seed := histLine(t, "aaaa1111aaaa1111", base, "SimulateSuite", 150e6, 27e6) +
+		histLine(t, "aaaa1111aaaa1111", base.Add(time.Minute), "SimulateSuite", 152e6, 26.6e6)
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env := perfEnv(t, path)
+
+	code, data := env.do(t, "GET", "/api/v1/perf/history", nil)
+	if code != http.StatusOK {
+		t.Fatalf("history: %d %s", code, data)
+	}
+	var hist struct {
+		Path    string            `json:"path"`
+		Skipped int               `json:"skipped"`
+		Records []perfhist.Record `json:"records"`
+	}
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Records) != 2 || hist.Skipped != 0 || hist.Path != path {
+		t.Fatalf("history body: %+v", hist)
+	}
+
+	code, data = env.do(t, "GET", "/api/v1/perf/trends", nil)
+	if code != http.StatusOK {
+		t.Fatalf("trends: %d %s", code, data)
+	}
+	var trends struct {
+		Records    int              `json:"records"`
+		Latest     *json.RawMessage `json:"latest"`
+		Benchmarks []perfhist.Trend `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &trends); err != nil {
+		t.Fatal(err)
+	}
+	if trends.Records != 2 || len(trends.Benchmarks) != 1 || trends.Latest == nil {
+		t.Fatalf("trends body: %s", data)
+	}
+	tr := trends.Benchmarks[0]
+	if tr.Name != "SimulateSuite" || len(tr.Points) != 1 || tr.Points[0].Runs != 2 {
+		t.Fatalf("trend shape: %+v", tr)
+	}
+
+	// Append a slower run at a new SHA — the service must serve it live
+	// (no restart) and the new point's delta must flag the regression.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		line := histLine(t, "bbbb2222bbbb2222", base.Add(time.Hour+time.Duration(i)*time.Minute),
+			"SimulateSuite", 260e6, 15.5e6)
+		if _, err := f.WriteString(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	code, data = env.do(t, "GET", "/api/v1/perf/trends?goos=linux&goarch=amd64", nil)
+	if code != http.StatusOK {
+		t.Fatalf("trends after append: %d %s", code, data)
+	}
+	if err := json.Unmarshal(data, &trends); err != nil {
+		t.Fatal(err)
+	}
+	if trends.Records != 4 || len(trends.Benchmarks) != 1 {
+		t.Fatalf("reload missed the append: %s", data)
+	}
+	tr = trends.Benchmarks[0]
+	if len(tr.Points) != 2 {
+		t.Fatalf("want 2 trend points, got %+v", tr)
+	}
+	if tr.Delta == nil || !tr.Delta.Regressed {
+		t.Fatalf("70%% slowdown across SHAs not flagged: %+v", tr.Delta)
+	}
+
+	// A foreign machine class filters to nothing.
+	code, data = env.do(t, "GET", "/api/v1/perf/trends?goos=plan9&goarch=mips", nil)
+	if code != http.StatusOK {
+		t.Fatalf("foreign class: %d %s", code, data)
+	}
+	if err := json.Unmarshal(data, &trends); err != nil {
+		t.Fatal(err)
+	}
+	if len(trends.Benchmarks) != 0 {
+		t.Fatalf("foreign class leaked trends: %s", data)
+	}
+}
+
+func TestPerfTrendsSurfacesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.jsonl")
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	// One good record, then a torn tail.
+	raw := histLine(t, "aaa", base, "B", 100, 0) + `{"generated_at":"2026-08-0`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env := perfEnv(t, path)
+	code, data := env.do(t, "GET", "/api/v1/perf/trends", nil)
+	if code != http.StatusOK {
+		t.Fatalf("trends: %d %s", code, data)
+	}
+	var trends struct {
+		Records int `json:"records"`
+		Skipped int `json:"skipped"`
+	}
+	if err := json.Unmarshal(data, &trends); err != nil {
+		t.Fatal(err)
+	}
+	if trends.Records != 1 || trends.Skipped != 1 {
+		t.Fatalf("corruption not surfaced: %s", data)
+	}
+}
+
+func TestPerfDashboardServesHTML(t *testing.T) {
+	env := perfEnv(t, filepath.Join(t.TempDir(), "missing.jsonl"))
+	code, data := env.do(t, "GET", "/perf", nil)
+	if code != http.StatusOK {
+		t.Fatalf("dashboard: %d", code)
+	}
+	body := string(data)
+	if !strings.Contains(body, "<!DOCTYPE html>") ||
+		!strings.Contains(body, "/api/v1/perf/trends") {
+		t.Fatalf("dashboard body unexpected: %.200s", body)
+	}
+	// The trends API over a missing history serves an empty, valid body
+	// (the dashboard's "no history yet" state), not an error.
+	code, data = env.do(t, "GET", "/api/v1/perf/trends", nil)
+	if code != http.StatusOK {
+		t.Fatalf("trends without history: %d %s", code, data)
+	}
+	var trends struct {
+		Benchmarks []perfhist.Trend `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &trends); err != nil {
+		t.Fatal(err)
+	}
+	if trends.Benchmarks == nil || len(trends.Benchmarks) != 0 {
+		t.Fatalf("want empty benchmarks array, got %s", data)
+	}
+}
+
+func TestPerfRoutesAbsentWithoutService(t *testing.T) {
+	env := newEnv(t, stubRunner{}.run, jobs.Options{Workers: 1}, nil)
+	for _, path := range []string{"/perf", "/api/v1/perf/history", "/api/v1/perf/trends"} {
+		code, _ := env.do(t, "GET", path, nil)
+		if code != http.StatusNotFound {
+			t.Fatalf("%s without PerfHist: %d, want 404", path, code)
+		}
+	}
+}
+
+// TestPerfEndpointsNoGoroutineLeak hammers the perf endpoints across
+// repeated server lifecycles and requires the goroutine count to settle
+// back to baseline — the new handlers must not spawn watchers or leave
+// request goroutines behind.
+func TestPerfEndpointsNoGoroutineLeak(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.jsonl")
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	var sb strings.Builder
+	for i := 0; i < 5; i++ {
+		sb.WriteString(histLine(t, "aaa", base.Add(time.Duration(i)*time.Minute), "B", 100+float64(i), 1e6))
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		q := jobs.New(stubRunner{}.run, jobs.Options{Workers: 1, Log: discardLog()})
+		ts := httptest.NewServer(server.New(server.Config{
+			Queue:    q,
+			Log:      discardLog(),
+			PerfHist: perfhist.NewService(path),
+		}).Handler())
+		for _, p := range []string{"/perf", "/api/v1/perf/history", "/api/v1/perf/trends"} {
+			resp, err := ts.Client().Get(ts.URL + p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: %d", p, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+		ts.Close()
+		q.Drain(t.Context())
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

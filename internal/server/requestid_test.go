@@ -1,0 +1,107 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"perspector/internal/jobs"
+)
+
+var ridShape = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// TestRequestIDEchoAndMint pins the X-Request-ID contract: a
+// well-formed client ID is echoed back verbatim; a missing or malformed
+// one is replaced by a freshly minted ID.
+func TestRequestIDEchoAndMint(t *testing.T) {
+	env := newEnv(t, stubRunner{}.run, jobs.Options{Workers: 1}, nil)
+
+	cases := []struct {
+		name string
+		sent string
+		echo bool // server must echo sent verbatim
+	}{
+		{"client id echoed", "ci-run-42.abc", true},
+		{"missing id minted", "", false},
+		{"spaces rejected", "evil id", false},
+		{"punctuation rejected", "bad!id{}", false},
+		{"overlong rejected", strings.Repeat("x", 65), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest("GET", env.ts.URL+"/healthz", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.sent != "" {
+				req.Header["X-Request-Id"] = []string{tc.sent}
+			}
+			resp, err := env.ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			got := resp.Header.Get("X-Request-ID")
+			if !ridShape.MatchString(got) {
+				t.Fatalf("response X-Request-ID %q not a valid ID", got)
+			}
+			if tc.echo && got != tc.sent {
+				t.Fatalf("sent %q, echoed %q", tc.sent, got)
+			}
+			if !tc.echo && got == tc.sent {
+				t.Fatalf("malformed ID %q echoed back instead of replaced", tc.sent)
+			}
+		})
+	}
+}
+
+// TestRequestIDAttachesToJob submits a job under a client request ID and
+// requires the ID to surface in the job snapshot, where it joins the
+// queue's log lines for cross-node stitching.
+func TestRequestIDAttachesToJob(t *testing.T) {
+	env := newEnv(t, stubRunner{}.run, jobs.Options{Workers: 1}, nil)
+
+	body, err := json.Marshal(scoreBody(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", env.ts.URL+"/api/v1/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "stitch-me-123")
+	resp, err := env.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	var submitted struct {
+		Job jobs.Snapshot `json:"job"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	snap := submitted.Job
+	if snap.RequestID != "stitch-me-123" {
+		t.Fatalf("snapshot request_id = %q, want stitch-me-123", snap.RequestID)
+	}
+
+	// The ID persists on later snapshot reads, not just the submit echo.
+	code, data := env.do(t, "GET", "/api/v1/jobs/"+snap.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("get job: %d %s", code, data)
+	}
+	var again jobs.Snapshot
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.RequestID != "stitch-me-123" {
+		t.Fatalf("stored snapshot request_id = %q", again.RequestID)
+	}
+}

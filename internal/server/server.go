@@ -28,6 +28,10 @@
 //	                             (chunks, scores, close, cancel routes
 //	                             under /api/v1/streams/{id} — see
 //	                             streams.go)
+//	GET    /api/v1/perf/history  raw benchmark-history records (with
+//	                             Config.PerfHist; see perfhist.go)
+//	GET    /api/v1/perf/trends   per-benchmark trend statistics
+//	GET    /perf                 embedded HTML performance dashboard
 //	GET    /healthz              liveness
 //	GET    /metrics              Prometheus-style text exposition
 //	GET    /debug/pprof/         only with Config.EnablePprof
@@ -37,6 +41,9 @@
 package server
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,6 +58,7 @@ import (
 	"perspector/internal/cache"
 	"perspector/internal/fleet"
 	"perspector/internal/jobs"
+	"perspector/internal/perfhist"
 	"perspector/internal/store"
 	"perspector/internal/suites"
 )
@@ -67,6 +75,10 @@ type Config struct {
 	Streams *jobs.StreamManager
 	// Cache, when set, feeds the cache hit/miss gauges of /metrics.
 	Cache *cache.Store
+	// PerfHist serves the benchmark-history endpoints (/api/v1/perf/*)
+	// and the /perf dashboard from a benchjson JSONL log; nil disables
+	// them.
+	PerfHist *perfhist.Service
 	// Log receives request logs; nil means slog.Default.
 	Log *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
@@ -120,6 +132,11 @@ func New(cfg Config) *Server {
 		s.handle("POST /api/v1/streams/{id}/close", s.handleCloseStream)
 		s.handle("DELETE /api/v1/streams/{id}", s.handleCancelStream)
 	}
+	if cfg.PerfHist != nil {
+		s.handle("GET /api/v1/perf/history", s.handlePerfHistory)
+		s.handle("GET /api/v1/perf/trends", s.handlePerfTrends)
+		s.handle("GET /perf", s.handlePerfDashboard)
+	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	if cfg.Coordinator != nil {
@@ -161,9 +178,62 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// requestIDKey carries the request's trace ID through its context.
+type requestIDKey struct{}
+
+// maxRequestIDLen bounds an inbound X-Request-ID so a hostile client
+// cannot inflate logs.
+const maxRequestIDLen = 64
+
+// newRequestID mints a 16-hex-digit trace ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a
+		// time-based ID keeps requests distinguishable regardless.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a client-supplied trace ID only when it is
+// boring: bounded length, [A-Za-z0-9._-] alphabet. Anything else is
+// discarded (a fresh ID is minted), which keeps log lines and response
+// headers injection-free.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// requestIDFrom returns the trace ID instrument attached to ctx.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
 func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Honor the caller's X-Request-ID (that is what lets one ID
+		// follow a job across fleet hops) or mint one, echo it on the
+		// response, and stamp every log line with it.
+		rid := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next(sw, r)
 		elapsed := time.Since(start)
@@ -175,6 +245,7 @@ func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 			"status", sw.code,
 			"elapsed", elapsed,
 			"remote", r.RemoteAddr,
+			"request_id", rid,
 		)
 	})
 }
@@ -241,6 +312,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
+	}
+	// The job inherits this request's trace ID (body-supplied IDs win,
+	// for clients resubmitting a serialized request verbatim). The ID is
+	// excluded from the job's content key, so dedup is unaffected.
+	if req.RequestID == "" {
+		req.RequestID = requestIDFrom(r.Context())
 	}
 	// Reject undecodable uploads at submission time with a 400 — not
 	// minutes later as a failed job. The runner parses the same bytes

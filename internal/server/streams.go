@@ -179,7 +179,7 @@ func writeStreamMetrics(w io.Writer, tel jobs.StreamTelemetry) {
 	fmt.Fprintln(w, "# HELP perspectord_streams Streams by lifecycle state.")
 	fmt.Fprintln(w, "# TYPE perspectord_streams gauge")
 	for _, state := range jobs.StreamStates() {
-		fmt.Fprintf(w, "perspectord_streams{state=%q} %d\n", string(state), tel.States[state])
+		fmt.Fprintf(w, "perspectord_streams{state=%s} %d\n", promLabel(string(state)), tel.States[state])
 	}
 	fmt.Fprintln(w, "# HELP perspectord_streams_active Streams not yet terminal.")
 	fmt.Fprintln(w, "# TYPE perspectord_streams_active gauge")
